@@ -1,0 +1,140 @@
+// Command ibcbench is the performance-analysis tool of the paper: it
+// deploys the simulated two-chain testbed, runs the benchmark workloads
+// and prints execution reports for every table and figure of the
+// evaluation section.
+//
+// Usage:
+//
+//	ibcbench -experiment all            # everything (slow)
+//	ibcbench -experiment fig8 -seeds 5  # one artifact
+//	ibcbench -experiment fig12 -transfers 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ibcbench/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ibcbench", flag.ContinueOnError)
+	var (
+		exp       = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|all")
+		seeds     = fs.Int("seeds", 3, "executions per configuration (paper: 20)")
+		windows   = fs.Int("windows", 0, "submission block windows (0 = paper default)")
+		transfers = fs.Int("transfers", 5000, "transfers for fig12/fig13")
+		seed      = fs.Int64("seed", 42, "base RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{Seeds: *seeds, Windows: *windows}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig6") || want("fig7") || want("table1") {
+		res := experiments.Tendermint(opt)
+		res.Fig6.Render(os.Stdout)
+		fmt.Println()
+		res.Fig7.Render(os.Stdout)
+		fmt.Println("\n# Table I: execution summary")
+		fmt.Printf("%-10s %-12s %-14s %-12s\n", "rate", "requested", "submitted", "committed")
+		for _, r := range res.Table1 {
+			fmt.Printf("%-10d %-12d %-8d(%.1f%%) %-8d(%.1f%%)\n", r.Rate, r.Requested,
+				r.Submitted, pct(r.Submitted, r.Requested),
+				r.Committed, pct(r.Committed, r.Submitted))
+		}
+		fmt.Println()
+	}
+	for _, cfg := range []struct {
+		name     string
+		relayers int
+		lan      bool
+	}{
+		{"fig8", 1, false}, {"fig8-lan", 1, true},
+		{"fig9", 2, false}, {"fig9-lan", 2, true},
+	} {
+		if !want(cfg.name) && !want("fig10") && !want("fig11") {
+			continue
+		}
+		if (cfg.name == "fig8" || cfg.name == "fig8-lan") && !want("fig8") && !want("fig10") {
+			continue
+		}
+		if (cfg.name == "fig9" || cfg.name == "fig9-lan") && !want("fig9") && !want("fig11") {
+			continue
+		}
+		pts := experiments.RelayerSweep(opt, cfg.relayers, cfg.lan)
+		fmt.Printf("# %s: %d relayer(s), lan=%v (Figs. 8-11)\n", cfg.name, cfg.relayers, cfg.lan)
+		fmt.Printf("%-8s %-10s %-11s %-9s %-10s %-13s %-10s\n",
+			"rate", "TFPS", "completed", "partial", "initiated", "notcommitted", "redundant")
+		for _, p := range pts {
+			fmt.Printf("%-8d %-10.1f %-11.0f %-9.0f %-10.0f %-13.0f %-10.0f\n",
+				p.Rate, p.Throughput.Mean, p.Completed, p.Partial, p.Initiated,
+				p.NotCommitted, p.RedundantErrors)
+		}
+		fmt.Println()
+	}
+	if want("fig12") {
+		res := experiments.Fig12(*transfers, *seed)
+		fmt.Printf("# Fig12: %d transfers in one block — 13-step breakdown\n", res.Transfers)
+		fmt.Printf("%-28s %-12s %-12s\n", "step", "first", "last")
+		for _, s := range res.Steps {
+			fmt.Printf("%-28s %-12s %-12s\n", s.Step, fmtSec(s.First), fmtSec(s.Last))
+		}
+		fmt.Printf("completed: %d/%d  total: %s\n", res.Completed, res.Transfers, fmtSec(res.Total))
+		fmt.Printf("phases: transfer=%s receive=%s ack=%s\n",
+			fmtSec(res.TransferPhase), fmtSec(res.ReceivePhase), fmtSec(res.AckPhase))
+		pulls := res.TransferDataPull + res.RecvDataPull
+		fmt.Printf("data pulls: %s (%.0f%% of total; paper: 69%%)\n\n",
+			fmtSec(pulls), 100*pulls.Seconds()/res.Total.Seconds())
+	}
+	if want("fig13") {
+		rows := experiments.Fig13(*transfers, nil, *seed)
+		fmt.Printf("# Fig13: %d transfers, submission spread over N blocks\n", *transfers)
+		fmt.Printf("%-10s %-14s %-10s\n", "blocks", "completion", "completed")
+		for _, r := range rows {
+			fmt.Printf("%-10d %-14s %-10d\n", r.Blocks, fmtSec(r.Completion), r.Completed)
+		}
+		fmt.Println()
+	}
+	if want("gas") {
+		rows := experiments.GasTable(*seed)
+		fmt.Println("# Gas per 100-message transaction class (§IV-A)")
+		fmt.Printf("%-22s %-12s %-12s\n", "class", "measured", "paper")
+		for _, r := range rows {
+			fmt.Printf("%-22s %-12d %-12d\n", r.MsgType, r.Measured, r.Paper)
+		}
+		fmt.Println()
+	}
+	if want("ws") {
+		res := experiments.WebSocketLimit(*seed, 1000, 60)
+		fmt.Println("# WebSocket frame-limit experiment (§V)")
+		fmt.Printf("transfers=%d framesLost=%d\n", res.Transfers, res.FramesLost)
+		fmt.Printf("completed: %d (%.1f%%)  timed out: %d (%.1f%%)  stuck: %d (%.1f%%)\n",
+			res.Completed, pct(res.Completed, res.Transfers),
+			int(res.TimedOut), pct(int(res.TimedOut), res.Transfers),
+			res.Stuck, pct(res.Stuck, res.Transfers))
+		fmt.Println("paper: 2.5% completed / 15.7% timed out / 81.8% stuck")
+	}
+	return nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fmtSec(d time.Duration) string {
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}

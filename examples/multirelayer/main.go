@@ -1,0 +1,27 @@
+// Multirelayer demonstrates the paper's relayer-scalability finding
+// (§IV-A, Fig. 9): two uncoordinated Hermes instances relaying one
+// channel deliver LOWER throughput than a single relayer, because both
+// race to deliver every packet and the loser burns fees on "packet
+// messages are redundant" failures.
+package main
+
+import (
+	"fmt"
+
+	"ibcbench/internal/experiments"
+)
+
+func main() {
+	const rate = 140 // the paper's peak-throughput input rate
+	opt := experiments.Options{Seeds: 2, Rates: []int{rate}, Windows: 30}
+
+	one := experiments.RelayerSweep(opt, 1, false)[0]
+	two := experiments.RelayerSweep(opt, 2, false)[0]
+
+	fmt.Printf("input rate: %d transfers/sec, 200ms RTT\n", rate)
+	fmt.Printf("1 relayer : %.1f TFPS\n", one.Throughput.Mean)
+	fmt.Printf("2 relayers: %.1f TFPS (redundant errors/run: %.0f)\n",
+		two.Throughput.Mean, two.RedundantErrors)
+	drop := 100 * (1 - two.Throughput.Mean/one.Throughput.Mean)
+	fmt.Printf("throughput change from adding a relayer: -%.0f%% (paper: -33%%)\n", drop)
+}

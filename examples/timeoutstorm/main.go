@@ -1,0 +1,22 @@
+// Timeoutstorm reproduces the paper's §V WebSocket-limit deployment
+// challenge: a block with 1,000 transactions of 100 transfers each
+// overflows the 16 MiB event frame, the relayer logs "failed to collect
+// events", and with a packet-clear interval of zero most transfers get
+// permanently stuck — neither completed nor timed out.
+package main
+
+import (
+	"fmt"
+
+	"ibcbench/internal/experiments"
+)
+
+func main() {
+	res := experiments.WebSocketLimit(5, 1000, 60)
+	total := float64(res.Transfers)
+	fmt.Printf("transfers submitted: %d (1,000 txs x 100 msgs in one block)\n", res.Transfers)
+	fmt.Printf("websocket frames lost: %d\n", res.FramesLost)
+	fmt.Printf("completed: %5.1f%%   (paper:  2.5%%)\n", 100*float64(res.Completed)/total)
+	fmt.Printf("timed out: %5.1f%%   (paper: 15.7%%)\n", 100*float64(res.TimedOut)/total)
+	fmt.Printf("stuck:     %5.1f%%   (paper: 81.8%%)\n", 100*float64(res.Stuck)/total)
+}

@@ -1,0 +1,429 @@
+package app
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ibcbench/internal/abci"
+	"ibcbench/internal/simconf"
+	"ibcbench/internal/tendermint/types"
+)
+
+// sendMsg is a simple bank-send message for app tests.
+type sendMsg struct {
+	from, to string
+	coin     Coin
+}
+
+func (m sendMsg) Route() string   { return "bank" }
+func (m sendMsg) MsgType() string { return "MsgSend" }
+func (m sendMsg) WireSize() int   { return 120 }
+func (m sendMsg) Digest() []byte {
+	return []byte(fmt.Sprintf("%s->%s:%s", m.from, m.to, m.coin))
+}
+
+func bankHandler(ctx *Context, msg Msg) (*Result, error) {
+	m, ok := msg.(sendMsg)
+	if !ok {
+		return nil, errors.New("bad msg")
+	}
+	if err := ctx.Bank.Send(m.from, m.to, m.coin); err != nil {
+		return &Result{GasUsed: 5000}, err
+	}
+	return &Result{
+		GasUsed: 5000,
+		Events:  []abci.Event{{Type: "transfer", Attributes: map[string]string{"to": m.to}}},
+	}, nil
+}
+
+func newTestApp() *App {
+	a := New("chain-a", true)
+	a.RegisterRoute("bank", bankHandler)
+	a.CreateAccount("alice", Coin{Denom: "uatom", Amount: 1000})
+	a.CreateAccount("bob")
+	return a
+}
+
+func deliverBlock(a *App, height int64, txs ...*Tx) []abci.TxResult {
+	a.BeginBlock(height, time.Duration(height)*5*time.Second)
+	out := make([]abci.TxResult, len(txs))
+	for i, tx := range txs {
+		out[i] = a.DeliverTx(tx)
+	}
+	a.EndBlock(height)
+	a.Commit()
+	return out
+}
+
+func TestDeliverTransfersFunds(t *testing.T) {
+	a := newTestApp()
+	tx := NewTx("alice", 0, 1, []Msg{sendMsg{from: "alice", to: "bob", coin: Coin{"uatom", 100}}})
+	res := deliverBlock(a, 1, tx)
+	if !res[0].IsOK() {
+		t.Fatalf("tx failed: %s", res[0].Log)
+	}
+	if got := a.Bank().Balance("bob", "uatom"); got != 100 {
+		t.Fatalf("bob = %d", got)
+	}
+	if got := a.Bank().Balance("alice", "uatom"); got != 900 {
+		t.Fatalf("alice = %d", got)
+	}
+	if len(res[0].Events) != 1 || res[0].Events[0].Type != "transfer" {
+		t.Fatalf("events = %+v", res[0].Events)
+	}
+}
+
+func TestSequenceEnforcement(t *testing.T) {
+	a := newTestApp()
+	good := NewTx("alice", 0, 1, []Msg{sendMsg{"alice", "bob", Coin{"uatom", 1}}})
+	if err := a.CheckTx(good); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	// Same committed sequence again: the paper's "Account sequence
+	// mismatch" (§V) — cannot submit twice per block from one account.
+	dup := NewTx("alice", 0, 2, []Msg{sendMsg{"alice", "bob", Coin{"uatom", 1}}})
+	if err := a.CheckTx(dup); !errors.Is(err, ErrSequenceMismatch) {
+		t.Fatalf("err = %v, want ErrSequenceMismatch", err)
+	}
+	// The next sequence passes CheckTx (pipelined client).
+	next := NewTx("alice", 1, 3, []Msg{sendMsg{"alice", "bob", Coin{"uatom", 1}}})
+	if err := a.CheckTx(next); err != nil {
+		t.Fatalf("pipelined check: %v", err)
+	}
+	// Deliver out of order fails.
+	res := deliverBlock(a, 1, next)
+	if res[0].IsOK() || res[0].Code != 32 {
+		t.Fatalf("out-of-order deliver: %+v", res[0])
+	}
+	res = deliverBlock(a, 2, good)
+	if !res[0].IsOK() {
+		t.Fatalf("in-order deliver failed: %s", res[0].Log)
+	}
+}
+
+func TestFailedTxAtomicity(t *testing.T) {
+	a := newTestApp()
+	// Second message overdraws: the whole tx must roll back.
+	tx := NewTx("alice", 0, 1, []Msg{
+		sendMsg{"alice", "bob", Coin{"uatom", 600}},
+		sendMsg{"alice", "bob", Coin{"uatom", 600}},
+	})
+	res := deliverBlock(a, 1, tx)
+	if res[0].IsOK() {
+		t.Fatal("overdrawing tx succeeded")
+	}
+	if got := a.Bank().Balance("bob", "uatom"); got != 0 {
+		t.Fatalf("partial execution leaked: bob = %d", got)
+	}
+	if got := a.Bank().Balance("alice", "uatom"); got != 1000 {
+		t.Fatalf("alice = %d", got)
+	}
+	// Sequence still advanced (failed txs consume the sequence).
+	if seq, _ := a.AccountSequence("alice"); seq != 1 {
+		t.Fatalf("sequence = %d", seq)
+	}
+	ok, failed := a.TxStats()
+	if ok != 0 || failed != 1 {
+		t.Fatalf("stats = %d ok %d failed", ok, failed)
+	}
+}
+
+func TestUnknownSignerAndRoute(t *testing.T) {
+	a := newTestApp()
+	if err := a.CheckTx(NewTx("mallory", 0, 1, []Msg{sendMsg{}})); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("unknown signer check: %v", err)
+	}
+	if err := a.CheckTx(NewTx("alice", 0, 1, nil)); !errors.Is(err, ErrNoMessages) {
+		t.Fatalf("empty tx check: %v", err)
+	}
+	type weirdMsg struct{ sendMsg }
+	var w Msg = weirdMsg{}
+	_ = w
+	a.BeginBlock(1, 0)
+	res := a.DeliverTx(&Tx{Signer: "alice", Sequence: 0, GasLimit: 1 << 30,
+		Msgs: []Msg{routeless{}}})
+	if res.IsOK() {
+		t.Fatal("routeless msg executed")
+	}
+}
+
+type routeless struct{}
+
+func (routeless) Route() string   { return "nowhere" }
+func (routeless) MsgType() string { return "MsgNowhere" }
+func (routeless) WireSize() int   { return 1 }
+
+func TestGasAccounting(t *testing.T) {
+	a := newTestApp()
+	tx := NewTx("alice", 0, 1, []Msg{sendMsg{"alice", "bob", Coin{"uatom", 1}}})
+	res := deliverBlock(a, 1, tx)
+	want := simconf.GasTxOverhead + 5000
+	if res[0].GasUsed != want {
+		t.Fatalf("gas = %d, want %d", res[0].GasUsed, want)
+	}
+	wantFees := float64(want) * simconf.GasPriceTokens
+	if a.FeesCollected() != wantFees {
+		t.Fatalf("fees = %f, want %f", a.FeesCollected(), wantFees)
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	a := newTestApp()
+	tx := NewTx("alice", 0, 1, []Msg{sendMsg{"alice", "bob", Coin{"uatom", 1}}})
+	tx.GasLimit = 100 // far below overhead + handler gas
+	res := deliverBlock(a, 1, tx)
+	if res[0].IsOK() || res[0].Code != 11 {
+		t.Fatalf("res = %+v, want out-of-gas code 11", res[0])
+	}
+	if a.Bank().Balance("bob", "uatom") != 0 {
+		t.Fatal("out-of-gas tx leaked state")
+	}
+}
+
+func TestGasScheduleMatchesPaper(t *testing.T) {
+	// 100-message batches must land on the paper's measured totals
+	// (§IV-A): 3,669,161 / 7,238,699 / 3,107,462 within 2%.
+	cases := []struct {
+		msgType string
+		paper   uint64
+	}{
+		{"MsgTransfer", 3669161},
+		{"MsgRecvPacket", 7238699},
+		{"MsgAcknowledgement", 3107462},
+	}
+	for _, c := range cases {
+		got := simconf.GasTxOverhead + 100*MsgGas(c.msgType)
+		diff := float64(got) - float64(c.paper)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff/float64(c.paper) > 0.02 {
+			t.Errorf("%s x100: gas %d vs paper %d (%.1f%% off)",
+				c.msgType, got, c.paper, 100*diff/float64(c.paper))
+		}
+	}
+}
+
+func TestTxHashUniqueness(t *testing.T) {
+	m := []Msg{sendMsg{"alice", "bob", Coin{"uatom", 1}}}
+	a := NewTx("alice", 0, 1, m)
+	b := NewTx("alice", 0, 2, m) // different nonce
+	c := NewTx("alice", 1, 1, m) // different sequence
+	d := NewTx("bob", 0, 1, m)   // different signer
+	seen := map[string]bool{}
+	for _, tx := range []*Tx{a, b, c, d} {
+		h := tx.Hash()
+		if seen[string(h[:])] {
+			t.Fatal("tx hash collision")
+		}
+		seen[string(h[:])] = true
+	}
+	if a.Hash() != a.Hash() {
+		t.Fatal("hash not stable")
+	}
+}
+
+func TestTxSize(t *testing.T) {
+	tx := NewTx("alice", 0, 1, []Msg{sendMsg{}, sendMsg{}})
+	want := simconf.TxBaseBytes + 2*120
+	if tx.Size() != want {
+		t.Fatalf("size = %d, want %d", tx.Size(), want)
+	}
+}
+
+func TestStateSnapshotAndProofs(t *testing.T) {
+	s := NewState(true)
+	s.Set("a", []byte("1"))
+	s.Set("b", []byte("2"))
+	s.CommitTx()
+	root1 := s.Commit(1)
+
+	s.Set("b", []byte("3"))
+	s.Delete("a")
+	s.Set("c", []byte("4"))
+	s.CommitTx()
+	root2 := s.Commit(2)
+	if root1 == root2 {
+		t.Fatal("roots did not change")
+	}
+
+	// Proofs against the old height still verify.
+	t1, err := s.TreeAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Root() != root1 {
+		t.Fatal("historic tree root mismatch")
+	}
+	if v, ok := t1.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("historic a = %q, %v", v, ok)
+	}
+	t2, err := s.TreeAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := t2.Get([]byte("a")); ok {
+		t.Fatal("deleted key visible at height 2")
+	}
+	if v, _ := t2.Get([]byte("b")); string(v) != "3" {
+		t.Fatalf("b at height 2 = %q", v)
+	}
+}
+
+func TestStateTxRollback(t *testing.T) {
+	s := NewState(false)
+	s.Set("k", []byte("committed"))
+	s.CommitTx()
+	s.Set("k", []byte("staged"))
+	s.Delete("k2")
+	s.AbortTx()
+	if v, _ := s.Get("k"); string(v) != "committed" {
+		t.Fatalf("k = %q after abort", v)
+	}
+}
+
+func TestStateRootChainsWithoutProofs(t *testing.T) {
+	s := NewState(false)
+	s.Set("a", []byte("1"))
+	s.CommitTx()
+	r1 := s.Commit(1)
+	r2 := s.Commit(2) // empty block still advances the chain hash? no:
+	// empty change set with new height must still produce a new root so
+	// headers at different heights differ.
+	if r1 == r2 {
+		t.Fatal("empty commit left root unchanged")
+	}
+	if _, err := s.TreeAt(1); err == nil {
+		t.Fatal("performance mode served a proof tree")
+	}
+}
+
+// Property: account sequences are strictly monotonic across any mix of
+// successful and failed transactions.
+func TestSequenceMonotonicProperty(t *testing.T) {
+	prop := func(amounts []uint16) bool {
+		a := newTestApp()
+		var height int64
+		expected := uint64(0)
+		for i, amt := range amounts {
+			height++
+			tx := NewTx("alice", expected, uint64(i),
+				[]Msg{sendMsg{"alice", "bob", Coin{"uatom", uint64(amt)}}})
+			deliverBlock(a, height, tx)
+			expected++
+			seq, err := a.AccountSequence("alice")
+			if err != nil || seq != expected {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bank conservation — sends never change total supply.
+func TestBankConservationProperty(t *testing.T) {
+	prop := func(ops []struct {
+		FromAlice bool
+		Amount    uint16
+	}) bool {
+		b := NewBank(NewState(false))
+		b.Mint("alice", Coin{"uatom", 1 << 20})
+		b.Mint("bob", Coin{"uatom", 1 << 20})
+		for _, op := range ops {
+			from, to := "alice", "bob"
+			if !op.FromAlice {
+				from, to = to, from
+			}
+			_ = b.Send(from, to, Coin{"uatom", uint64(op.Amount)})
+			total := b.Balance("alice", "uatom") + b.Balance("bob", "uatom")
+			if total != 2<<20 || b.Supply("uatom") != 2<<20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankMintBurn(t *testing.T) {
+	b := NewBank(NewState(false))
+	b.Mint("x", Coin{"token", 50})
+	if b.Supply("token") != 50 {
+		t.Fatalf("supply = %d", b.Supply("token"))
+	}
+	if err := b.Burn("x", Coin{"token", 60}); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("overburn: %v", err)
+	}
+	if err := b.Burn("x", Coin{"token", 20}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Supply("token") != 30 || b.Balance("x", "token") != 30 {
+		t.Fatalf("after burn: supply=%d bal=%d", b.Supply("token"), b.Balance("x", "token"))
+	}
+}
+
+func TestQueryCostModel(t *testing.T) {
+	transfer100 := NewTx("alice", 0, 1, manyMsgs("MsgTransfer", 100))
+	recv100 := NewTx("alice", 0, 2, manyMsgs("MsgRecvPacket", 100))
+	ct := TxQueryCost(transfer100)
+	cr := TxQueryCost(recv100)
+	if cr <= ct {
+		t.Fatalf("recv query (%v) should cost more than transfer (%v)", cr, ct)
+	}
+	// Base (pre-pagination) costs follow the calibrated schedule; the
+	// RPC layer adds the block-size pagination factor on top.
+	wantT := simconf.QueryBaseCost + 100*simconf.QueryCostPerTransferMsg
+	if ct != wantT {
+		t.Fatalf("transfer base cost = %v, want %v", ct, wantT)
+	}
+	wantR := simconf.QueryBaseCost + 100*simconf.QueryCostPerRecvMsg
+	if cr != wantR {
+		t.Fatalf("recv base cost = %v, want %v", cr, wantR)
+	}
+}
+
+type typedMsg struct {
+	kind string
+	i    int
+}
+
+func (m typedMsg) Route() string   { return "ibc" }
+func (m typedMsg) MsgType() string { return m.kind }
+func (m typedMsg) WireSize() int   { return 100 }
+func (m typedMsg) Digest() []byte  { return []byte(fmt.Sprintf("%s/%d", m.kind, m.i)) }
+
+func manyMsgs(kind string, n int) []Msg {
+	out := make([]Msg, n)
+	for i := range out {
+		out[i] = typedMsg{kind: kind, i: i}
+	}
+	return out
+}
+
+func TestEventFrameBytes(t *testing.T) {
+	// 5,000 transfers in one block stays under the 16 MiB WebSocket cap;
+	// 100,000 transfers (the paper's §V overflow scenario) exceeds it.
+	mkTxs := func(n int) []types.Tx {
+		out := make([]types.Tx, n)
+		for i := range out {
+			out[i] = NewTx("a", uint64(i), uint64(i), manyMsgs("MsgTransfer", 100))
+		}
+		return out
+	}
+	under := EventFrameBytes(mkTxs(50))
+	if under >= simconf.WebSocketMaxFrameBytes {
+		t.Fatalf("5,000 transfers = %d bytes, should be under 16MiB", under)
+	}
+	over := EventFrameBytes(mkTxs(1000))
+	if over <= simconf.WebSocketMaxFrameBytes {
+		t.Fatalf("100,000 transfers = %d bytes, should exceed 16MiB", over)
+	}
+}

@@ -1,0 +1,270 @@
+// Package chain is the composition root assembling one simulated Cosmos
+// Gaia blockchain: application + IBC + transfer module + mempool +
+// consensus engine + RPC full nodes, all running on a shared virtual
+// clock. It also provides helpers to link two chains with an IBC channel
+// the way the paper's Setup module does (§III-B).
+package chain
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ibcbench/internal/app"
+	"ibcbench/internal/ibc"
+	"ibcbench/internal/ibc/transfer"
+	"ibcbench/internal/netem"
+	"ibcbench/internal/sim"
+	"ibcbench/internal/tendermint/consensus"
+	"ibcbench/internal/tendermint/mempool"
+	"ibcbench/internal/tendermint/rpc"
+	"ibcbench/internal/tendermint/store"
+)
+
+// Config parameterizes one chain.
+type Config struct {
+	ChainID    string
+	Validators int
+	// FullProofs enables real merkle state commitments and proof
+	// verification (correctness mode); performance experiments disable
+	// it — the proof-handling cost is modeled in virtual time either way.
+	FullProofs bool
+	// Consensus overrides; zero values take the paper defaults.
+	Consensus consensus.Config
+	// RPC overrides; zero value takes defaults.
+	RPC rpc.Config
+}
+
+// Chain bundles every component of one blockchain.
+type Chain struct {
+	ID       string
+	App      *app.App
+	Keeper   *ibc.Keeper
+	Transfer *transfer.Module
+	Pool     *mempool.Pool
+	Store    *store.Store
+	Engine   *consensus.Engine
+	RPC      *rpc.Server // primary full node
+
+	sched    *sim.Scheduler
+	network  *netem.Network
+	rpcNodes int
+}
+
+// New assembles a chain on the shared scheduler and network.
+func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
+	a := app.New(cfg.ChainID, cfg.FullProofs)
+	keeper := ibc.NewKeeper(a)
+	xfer := transfer.New(a, keeper)
+	pool := mempool.New(mempool.DefaultConfig(), a.CheckTx)
+	stor := store.New(cfg.ChainID)
+
+	ccfg := cfg.Consensus
+	if ccfg.ChainID == "" {
+		ccfg = consensus.DefaultConfig(cfg.ChainID)
+	}
+	if cfg.Validators > 0 {
+		ccfg.Validators = cfg.Validators
+	}
+	engine := consensus.New(sched, network, ccfg, a, pool, stor)
+
+	rcfg := cfg.RPC
+	if rcfg.BroadcastCost == 0 {
+		rcfg = rpc.DefaultConfig()
+	}
+	c := &Chain{
+		ID:       cfg.ChainID,
+		App:      a,
+		Keeper:   keeper,
+		Transfer: xfer,
+		Pool:     pool,
+		Store:    stor,
+		Engine:   engine,
+		sched:    sched,
+		network:  network,
+	}
+	c.RPC = c.newRPCNode(engine.PrimaryHost(), rcfg)
+	return c
+}
+
+// newRPCNode creates an RPC server backed by this chain's state.
+func (c *Chain) newRPCNode(host netem.Host, cfg rpc.Config) *rpc.Server {
+	srv := rpc.New(c.sched, c.network, host, cfg, c.Store, c.Pool,
+		app.TxQueryCost, app.EventFrameBytes, c.App.AccountSequence, app.MsgCount)
+	c.Engine.OnCommit(srv.PublishBlock)
+	return srv
+}
+
+// AddRPCNode attaches an additional full node serving RPC (the paper
+// runs one full node per relayer machine). It shares the canonical
+// store/mempool but has its own serial query queue.
+func (c *Chain) AddRPCNode(cfg rpc.Config) *rpc.Server {
+	c.rpcNodes++
+	host := netem.Host(fmt.Sprintf("%s/fullnode%d", c.ID, c.rpcNodes))
+	if cfg.BroadcastCost == 0 {
+		cfg = rpc.DefaultConfig()
+	}
+	return c.newRPCNode(host, cfg)
+}
+
+// Start begins block production.
+func (c *Chain) Start() { c.Engine.Start() }
+
+// ClientStateFor describes this chain for a counterparty's light client.
+func (c *Chain) ClientStateFor() ibc.ClientState {
+	var vals []ibc.ValidatorRecord
+	for _, v := range c.Engine.ValidatorSet().Validators {
+		vals = append(vals, ibc.ValidatorRecord{PubKey: v.PubKey.Bytes(), Power: v.VotingPower})
+	}
+	return ibc.ClientState{ChainID: c.ID, Validators: vals}
+}
+
+// Pair is two chains linked by an IBC channel.
+type Pair struct {
+	A, B *Chain
+	// PortID/ChannelID of the linked channel on both ends.
+	Port      string
+	ChannelAB string
+	ChannelBA string
+	// ClientOnA tracks B; ClientOnB tracks A.
+	ClientOnA string
+	ClientOnB string
+}
+
+// Link seeds both chains' IBC state with open clients, a connection and
+// an unordered transfer channel (the fast-path equivalent of the paper's
+// `hermes create channel` setup; the full message-driven handshake is
+// exercised in the ibc package tests).
+func Link(a, b *Chain) *Pair {
+	p := &Pair{
+		A: a, B: b,
+		Port:      transfer.PortID,
+		ChannelAB: "channel-0",
+		ChannelBA: "channel-0",
+		ClientOnA: "07-tendermint-0",
+		ClientOnB: "07-tendermint-0",
+	}
+	seed := func(host, peer *Chain, clientID string) {
+		ctx := &app.Context{
+			ChainID: host.ID, Height: 0, Time: 0,
+			State: host.App.State(), Bank: host.App.Bank(), App: host.App,
+		}
+		state := peer.ClientStateFor()
+		state.LatestHeight = 1
+		setClient(ctx, clientID, state)
+		setConnection(ctx, "connection-0", clientID)
+		setChannel(ctx, p.Port, "channel-0", "connection-0")
+		ctx.State.CommitTx()
+	}
+	seed(a, b, p.ClientOnA)
+	seed(b, a, p.ClientOnB)
+	return p
+}
+
+// The seeding helpers write the same stored objects the handshake would.
+
+func setClient(ctx *app.Context, clientID string, st ibc.ClientState) {
+	mustSet(ctx, ibc.ClientStateKey(clientID), st)
+}
+
+func setConnection(ctx *app.Context, connID, clientID string) {
+	mustSet(ctx, ibc.ConnectionKey(connID), ibc.ConnectionEnd{
+		State:                ibc.StateOpen,
+		ClientID:             clientID,
+		CounterpartyConnID:   "connection-0",
+		CounterpartyClientID: "07-tendermint-0",
+	})
+}
+
+func setChannel(ctx *app.Context, port, channel, connID string) {
+	mustSet(ctx, ibc.ChannelKey(port, channel), ibc.ChannelEnd{
+		State:            ibc.StateOpen,
+		Ordering:         ibc.Unordered,
+		CounterpartyPort: port,
+		CounterpartyChan: channel,
+		ConnectionID:     connID,
+		Version:          "ics20-1",
+	})
+	ctx.State.Set(ibc.NextSequenceSendKey(port, channel), []byte("1"))
+}
+
+func mustSet(ctx *app.Context, key string, v any) {
+	raw, err := jsonMarshal(v)
+	if err != nil {
+		panic(err)
+	}
+	ctx.State.Set(key, raw)
+}
+
+// Testbed is the complete two-chain environment of the paper's
+// experiments: a shared scheduler and network, two five-validator Gaia
+// chains, and a linked transfer channel.
+type Testbed struct {
+	Sched *sim.Scheduler
+	Net   *netem.Network
+	RNG   *sim.RNG
+	Pair  *Pair
+}
+
+// TestbedConfig selects the emulated network and chain parameters.
+type TestbedConfig struct {
+	Seed        int64
+	Network     netem.Config
+	Validators  int
+	FullProofs  bool
+	MaxBlockGas uint64
+}
+
+// DefaultTestbed mirrors §III-C: 200 ms RTT WAN, five validators each.
+func DefaultTestbed(seed int64) TestbedConfig {
+	return TestbedConfig{
+		Seed:    seed,
+		Network: netem.DefaultWAN(),
+	}
+}
+
+// NewTestbed builds the two-chain environment.
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(cfg.Seed)
+	network := netem.New(sched, rng, cfg.Network)
+	mk := func(id string) *Chain {
+		ccfg := Config{ChainID: id, Validators: cfg.Validators, FullProofs: cfg.FullProofs}
+		ccfg.Consensus = consensusDefault(id, cfg)
+		return New(sched, network, ccfg)
+	}
+	a := mk("ibc-0")
+	b := mk("ibc-1")
+	return &Testbed{
+		Sched: sched,
+		Net:   network,
+		RNG:   rng,
+		Pair:  Link(a, b),
+	}
+}
+
+func consensusDefault(id string, cfg TestbedConfig) consensus.Config {
+	c := consensus.DefaultConfig(id)
+	if cfg.Validators > 0 {
+		c.Validators = cfg.Validators
+	}
+	if cfg.MaxBlockGas > 0 {
+		c.MaxBlockGas = cfg.MaxBlockGas
+	}
+	return c
+}
+
+// Start begins block production on both chains.
+func (tb *Testbed) Start() {
+	tb.Pair.A.Start()
+	tb.Pair.B.Start()
+}
+
+// Run drives the simulation until the virtual deadline.
+func (tb *Testbed) Run(until time.Duration) error {
+	return tb.Sched.RunUntil(until)
+}
+
+// jsonMarshal is a tiny indirection so the seeding helpers don't pull
+// encoding/json into the public surface.
+func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }

@@ -1,0 +1,666 @@
+package ibc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"ibcbench/internal/abci"
+	"ibcbench/internal/app"
+	"ibcbench/internal/merkle"
+	"ibcbench/internal/tendermint/types"
+	"ibcbench/internal/valkey"
+)
+
+// Keeper errors.
+var (
+	ErrClientNotFound     = errors.New("ibc: client not found")
+	ErrConsensusNotFound  = errors.New("ibc: consensus state not found at height")
+	ErrConnectionNotFound = errors.New("ibc: connection not found")
+	ErrChannelNotFound    = errors.New("ibc: channel not found")
+	ErrChannelNotOpen     = errors.New("ibc: channel not open")
+	ErrInvalidHandshake   = errors.New("ibc: handshake state mismatch")
+	// ErrRedundantPacket is the failure two uncoordinated relayers hit
+	// when both deliver the same packet: "packet messages are redundant"
+	// (§IV-A).
+	ErrRedundantPacket = errors.New("packet messages are redundant")
+	ErrPacketTimedOut  = errors.New("ibc: packet timeout elapsed")
+	ErrTimeoutTooEarly = errors.New("ibc: timeout not yet elapsed on counterparty")
+	ErrProofVerify     = errors.New("ibc: proof verification failed")
+	ErrCommitmentGone  = errors.New("ibc: packet commitment not found")
+)
+
+// PortModule is a packet-handling application module bound to a port
+// (ICS-5/ICS-26). The transfer module implements it.
+type PortModule interface {
+	// OnRecvPacket processes an inbound packet and returns the ack.
+	OnRecvPacket(ctx *app.Context, packet Packet) Acknowledgement
+	// OnAcknowledgementPacket processes an ack for a sent packet.
+	OnAcknowledgementPacket(ctx *app.Context, packet Packet, ack Acknowledgement) error
+	// OnTimeoutPacket reverts a packet that timed out.
+	OnTimeoutPacket(ctx *app.Context, packet Packet) error
+}
+
+// Keeper owns the IBC state of one chain and routes packets to port
+// modules.
+type Keeper struct {
+	ports map[string]PortModule
+}
+
+// NewKeeper creates the IBC keeper and registers its message handler on
+// the app under RouteIBC.
+func NewKeeper(a *app.App) *Keeper {
+	k := &Keeper{ports: make(map[string]PortModule)}
+	a.RegisterRoute(RouteIBC, k.handle)
+	return k
+}
+
+// BindPort attaches a module to a port.
+func (k *Keeper) BindPort(port string, m PortModule) { k.ports[port] = m }
+
+// --- stored-object helpers -------------------------------------------------
+
+func getJSON[T any](ctx *app.Context, key string) (*T, bool) {
+	raw, ok := ctx.State.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, false
+	}
+	return &v, true
+}
+
+func setJSON(ctx *app.Context, key string, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Stored objects are plain structs; marshal cannot fail.
+		panic(err)
+	}
+	ctx.State.Set(key, raw)
+}
+
+// Client returns a stored client state.
+func (k *Keeper) Client(ctx *app.Context, clientID string) (*ClientState, error) {
+	cs, ok := getJSON[ClientState](ctx, ClientStateKey(clientID))
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrClientNotFound, clientID)
+	}
+	return cs, nil
+}
+
+// Consensus returns a stored consensus state at a height.
+func (k *Keeper) Consensus(ctx *app.Context, clientID string, height int64) (*ConsensusState, error) {
+	cs, ok := getJSON[ConsensusState](ctx, ConsensusStateKey(clientID, height))
+	if !ok {
+		return nil, fmt.Errorf("%w: client %s height %d", ErrConsensusNotFound, clientID, height)
+	}
+	return cs, nil
+}
+
+// Channel returns a stored channel end.
+func (k *Keeper) Channel(ctx *app.Context, port, channel string) (*ChannelEnd, error) {
+	ch, ok := getJSON[ChannelEnd](ctx, ChannelKey(port, channel))
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrChannelNotFound, port, channel)
+	}
+	return ch, nil
+}
+
+// Connection returns a stored connection end.
+func (k *Keeper) Connection(ctx *app.Context, connID string) (*ConnectionEnd, error) {
+	c, ok := getJSON[ConnectionEnd](ctx, ConnectionKey(connID))
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrConnectionNotFound, connID)
+	}
+	return c, nil
+}
+
+// clientForChannel resolves the light client a channel's packets are
+// verified against.
+func (k *Keeper) clientForChannel(ctx *app.Context, port, channel string) (string, *ChannelEnd, error) {
+	ch, err := k.Channel(ctx, port, channel)
+	if err != nil {
+		return "", nil, err
+	}
+	conn, err := k.Connection(ctx, ch.ConnectionID)
+	if err != nil {
+		return "", nil, err
+	}
+	return conn.ClientID, ch, nil
+}
+
+// --- proof verification ------------------------------------------------------
+
+// verifyMembership checks a counterparty state inclusion proof against
+// the consensus root at proofHeight. With proofs disabled (performance
+// mode) it only checks the consensus state exists.
+func (k *Keeper) verifyMembership(ctx *app.Context, clientID string, proofHeight int64, key string, value []byte, proof *Proof) error {
+	cons, err := k.Consensus(ctx, clientID, proofHeight)
+	if err != nil {
+		return err
+	}
+	if !ctx.State.FullProofs() {
+		return nil
+	}
+	if proof == nil || proof.Membership == nil {
+		return fmt.Errorf("%w: missing membership proof for %s", ErrProofVerify, key)
+	}
+	if err := merkle.VerifyMembership(cons.Root, []byte(key), value, proof.Membership); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrProofVerify, key, err)
+	}
+	return nil
+}
+
+// verifyNonMembership checks a counterparty absence proof.
+func (k *Keeper) verifyNonMembership(ctx *app.Context, clientID string, proofHeight int64, key string, proof *Proof) error {
+	cons, err := k.Consensus(ctx, clientID, proofHeight)
+	if err != nil {
+		return err
+	}
+	if !ctx.State.FullProofs() {
+		return nil
+	}
+	if proof == nil || proof.NonMembership == nil {
+		return fmt.Errorf("%w: missing non-membership proof for %s", ErrProofVerify, key)
+	}
+	if err := merkle.VerifyNonMembership(cons.Root, []byte(key), proof.NonMembership); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrProofVerify, key, err)
+	}
+	return nil
+}
+
+// --- message handler ---------------------------------------------------------
+
+// handle is the app.Handler for all core IBC messages.
+func (k *Keeper) handle(ctx *app.Context, msg app.Msg) (*app.Result, error) {
+	gas := app.MsgGas(msg.MsgType())
+	res := &app.Result{GasUsed: gas}
+	var err error
+	switch m := msg.(type) {
+	case MsgCreateClient:
+		err = k.createClient(ctx, m)
+	case MsgUpdateClient:
+		err = k.updateClient(ctx, m)
+	case MsgConnOpenInit:
+		err = k.connOpenInit(ctx, m)
+	case MsgConnOpenTry:
+		err = k.connOpenTry(ctx, m)
+	case MsgConnOpenAck:
+		err = k.connOpenAck(ctx, m)
+	case MsgConnOpenConfirm:
+		err = k.connOpenConfirm(ctx, m)
+	case MsgChanOpenInit:
+		err = k.chanOpenInit(ctx, m)
+	case MsgChanOpenTry:
+		err = k.chanOpenTry(ctx, m)
+	case MsgChanOpenAck:
+		err = k.chanOpenAck(ctx, m)
+	case MsgChanOpenConfirm:
+		err = k.chanOpenConfirm(ctx, m)
+	case MsgRecvPacket:
+		res.Events, err = k.recvPacket(ctx, m)
+	case MsgAcknowledgement:
+		err = k.acknowledgePacket(ctx, m)
+	case MsgTimeout:
+		err = k.timeoutPacket(ctx, m)
+	default:
+		err = fmt.Errorf("ibc: unknown message %T", msg)
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// --- clients -----------------------------------------------------------------
+
+func (k *Keeper) createClient(ctx *app.Context, m MsgCreateClient) error {
+	if ctx.State.Has(ClientStateKey(m.ClientID)) {
+		return fmt.Errorf("ibc: client %s exists", m.ClientID)
+	}
+	st := m.State
+	st.LatestHeight = m.InitialHeight
+	setJSON(ctx, ClientStateKey(m.ClientID), st)
+	setJSON(ctx, ConsensusStateKey(m.ClientID, m.InitialHeight), m.InitialConsensus)
+	return nil
+}
+
+func (k *Keeper) updateClient(ctx *app.Context, m MsgUpdateClient) error {
+	cs, err := k.Client(ctx, m.ClientID)
+	if err != nil {
+		return err
+	}
+	hdr := m.Bundle.Header
+	if hdr.ChainID != cs.ChainID {
+		return fmt.Errorf("ibc: header chain %q, client tracks %q", hdr.ChainID, cs.ChainID)
+	}
+	// Verify the commit under the pinned validator set. In performance
+	// mode the signatures are still structurally present; verification
+	// runs whenever the commit carries signatures.
+	if ctx.State.FullProofs() {
+		vals := make([]*types.Validator, len(cs.Validators))
+		for i, vr := range cs.Validators {
+			pk, err := valkey.PubKeyFromBytes(vr.PubKey)
+			if err != nil {
+				return fmt.Errorf("ibc: client %s validator %d: %w", m.ClientID, i, err)
+			}
+			vals[i] = &types.Validator{Address: pk.Address(), PubKey: pk, VotingPower: vr.Power}
+		}
+		vs := types.NewValidatorSet(vals)
+		blockID := types.BlockID{Hash: hdr.Hash()}
+		if err := vs.VerifyCommit(cs.ChainID, blockID, hdr.Height, m.Bundle.Commit); err != nil {
+			return fmt.Errorf("ibc: header verification: %w", err)
+		}
+	}
+	if hdr.Height > cs.LatestHeight {
+		cs.LatestHeight = hdr.Height
+		setJSON(ctx, ClientStateKey(m.ClientID), cs)
+	}
+	setJSON(ctx, ConsensusStateKey(m.ClientID, hdr.Height), ConsensusState{
+		Root:      hdr.AppHash,
+		Timestamp: hdr.Time,
+	})
+	return nil
+}
+
+// --- connection handshake ------------------------------------------------------
+
+func (k *Keeper) connOpenInit(ctx *app.Context, m MsgConnOpenInit) error {
+	if ctx.State.Has(ConnectionKey(m.ConnID)) {
+		return fmt.Errorf("ibc: connection %s exists", m.ConnID)
+	}
+	if _, err := k.Client(ctx, m.ClientID); err != nil {
+		return err
+	}
+	setJSON(ctx, ConnectionKey(m.ConnID), ConnectionEnd{
+		State:                StateInit,
+		ClientID:             m.ClientID,
+		CounterpartyConnID:   m.CounterpartyConnID,
+		CounterpartyClientID: m.CounterpartyClientID,
+	})
+	return nil
+}
+
+func (k *Keeper) connOpenTry(ctx *app.Context, m MsgConnOpenTry) error {
+	if _, err := k.Client(ctx, m.ClientID); err != nil {
+		return err
+	}
+	// Verify the counterparty recorded INIT for this pair.
+	expected := ConnectionEnd{
+		State:                StateInit,
+		ClientID:             m.CounterpartyClientID,
+		CounterpartyConnID:   m.ConnID,
+		CounterpartyClientID: m.ClientID,
+	}
+	raw, _ := json.Marshal(expected)
+	if err := k.verifyMembership(ctx, m.ClientID, m.ProofHeight,
+		ConnectionKey(m.CounterpartyConnID), raw, m.ProofInit); err != nil {
+		return err
+	}
+	setJSON(ctx, ConnectionKey(m.ConnID), ConnectionEnd{
+		State:                StateTryOpen,
+		ClientID:             m.ClientID,
+		CounterpartyConnID:   m.CounterpartyConnID,
+		CounterpartyClientID: m.CounterpartyClientID,
+	})
+	return nil
+}
+
+func (k *Keeper) connOpenAck(ctx *app.Context, m MsgConnOpenAck) error {
+	conn, err := k.Connection(ctx, m.ConnID)
+	if err != nil {
+		return err
+	}
+	if conn.State != StateInit {
+		return fmt.Errorf("%w: connection %s in state %d", ErrInvalidHandshake, m.ConnID, conn.State)
+	}
+	expected := ConnectionEnd{
+		State:                StateTryOpen,
+		ClientID:             conn.CounterpartyClientID,
+		CounterpartyConnID:   m.ConnID,
+		CounterpartyClientID: conn.ClientID,
+	}
+	raw, _ := json.Marshal(expected)
+	if err := k.verifyMembership(ctx, conn.ClientID, m.ProofHeight,
+		ConnectionKey(conn.CounterpartyConnID), raw, m.ProofTry); err != nil {
+		return err
+	}
+	conn.State = StateOpen
+	setJSON(ctx, ConnectionKey(m.ConnID), conn)
+	return nil
+}
+
+func (k *Keeper) connOpenConfirm(ctx *app.Context, m MsgConnOpenConfirm) error {
+	conn, err := k.Connection(ctx, m.ConnID)
+	if err != nil {
+		return err
+	}
+	if conn.State != StateTryOpen {
+		return fmt.Errorf("%w: connection %s in state %d", ErrInvalidHandshake, m.ConnID, conn.State)
+	}
+	expected := ConnectionEnd{
+		State:                StateOpen,
+		ClientID:             conn.CounterpartyClientID,
+		CounterpartyConnID:   m.ConnID,
+		CounterpartyClientID: conn.ClientID,
+	}
+	raw, _ := json.Marshal(expected)
+	if err := k.verifyMembership(ctx, conn.ClientID, m.ProofHeight,
+		ConnectionKey(conn.CounterpartyConnID), raw, m.ProofAck); err != nil {
+		return err
+	}
+	conn.State = StateOpen
+	setJSON(ctx, ConnectionKey(m.ConnID), conn)
+	return nil
+}
+
+// --- channel handshake ----------------------------------------------------------
+
+func (k *Keeper) chanOpenInit(ctx *app.Context, m MsgChanOpenInit) error {
+	if ctx.State.Has(ChannelKey(m.Port, m.Channel)) {
+		return fmt.Errorf("ibc: channel %s/%s exists", m.Port, m.Channel)
+	}
+	conn, err := k.Connection(ctx, m.ConnectionID)
+	if err != nil {
+		return err
+	}
+	if conn.State != StateOpen {
+		return fmt.Errorf("%w: connection %s not open", ErrInvalidHandshake, m.ConnectionID)
+	}
+	setJSON(ctx, ChannelKey(m.Port, m.Channel), ChannelEnd{
+		State:            StateInit,
+		Ordering:         m.Ordering,
+		CounterpartyPort: m.CounterpartyPort,
+		CounterpartyChan: m.CounterpartyChan,
+		ConnectionID:     m.ConnectionID,
+		Version:          m.Version,
+	})
+	return nil
+}
+
+func (k *Keeper) chanOpenTry(ctx *app.Context, m MsgChanOpenTry) error {
+	conn, err := k.Connection(ctx, m.ConnectionID)
+	if err != nil {
+		return err
+	}
+	if conn.State != StateOpen {
+		return fmt.Errorf("%w: connection %s not open", ErrInvalidHandshake, m.ConnectionID)
+	}
+	expected := ChannelEnd{
+		State:            StateInit,
+		Ordering:         m.Ordering,
+		CounterpartyPort: m.Port,
+		CounterpartyChan: m.Channel,
+		ConnectionID:     conn.CounterpartyConnID,
+		Version:          m.Version,
+	}
+	raw, _ := json.Marshal(expected)
+	if err := k.verifyMembership(ctx, conn.ClientID, m.ProofHeight,
+		ChannelKey(m.CounterpartyPort, m.CounterpartyChan), raw, m.ProofInit); err != nil {
+		return err
+	}
+	setJSON(ctx, ChannelKey(m.Port, m.Channel), ChannelEnd{
+		State:            StateTryOpen,
+		Ordering:         m.Ordering,
+		CounterpartyPort: m.CounterpartyPort,
+		CounterpartyChan: m.CounterpartyChan,
+		ConnectionID:     m.ConnectionID,
+		Version:          m.Version,
+	})
+	return nil
+}
+
+func (k *Keeper) chanOpenAck(ctx *app.Context, m MsgChanOpenAck) error {
+	ch, err := k.Channel(ctx, m.Port, m.Channel)
+	if err != nil {
+		return err
+	}
+	if ch.State != StateInit {
+		return fmt.Errorf("%w: channel %s/%s in state %d", ErrInvalidHandshake, m.Port, m.Channel, ch.State)
+	}
+	conn, err := k.Connection(ctx, ch.ConnectionID)
+	if err != nil {
+		return err
+	}
+	expected := ChannelEnd{
+		State:            StateTryOpen,
+		Ordering:         ch.Ordering,
+		CounterpartyPort: m.Port,
+		CounterpartyChan: m.Channel,
+		ConnectionID:     conn.CounterpartyConnID,
+		Version:          ch.Version,
+	}
+	raw, _ := json.Marshal(expected)
+	if err := k.verifyMembership(ctx, conn.ClientID, m.ProofHeight,
+		ChannelKey(ch.CounterpartyPort, ch.CounterpartyChan), raw, m.ProofTry); err != nil {
+		return err
+	}
+	ch.State = StateOpen
+	setJSON(ctx, ChannelKey(m.Port, m.Channel), ch)
+	ctx.State.Set(NextSequenceSendKey(m.Port, m.Channel), []byte("1"))
+	return nil
+}
+
+func (k *Keeper) chanOpenConfirm(ctx *app.Context, m MsgChanOpenConfirm) error {
+	ch, err := k.Channel(ctx, m.Port, m.Channel)
+	if err != nil {
+		return err
+	}
+	if ch.State != StateTryOpen {
+		return fmt.Errorf("%w: channel %s/%s in state %d", ErrInvalidHandshake, m.Port, m.Channel, ch.State)
+	}
+	conn, err := k.Connection(ctx, ch.ConnectionID)
+	if err != nil {
+		return err
+	}
+	expected := ChannelEnd{
+		State:            StateOpen,
+		Ordering:         ch.Ordering,
+		CounterpartyPort: m.Port,
+		CounterpartyChan: m.Channel,
+		ConnectionID:     conn.CounterpartyConnID,
+		Version:          ch.Version,
+	}
+	raw, _ := json.Marshal(expected)
+	if err := k.verifyMembership(ctx, conn.ClientID, m.ProofHeight,
+		ChannelKey(ch.CounterpartyPort, ch.CounterpartyChan), raw, m.ProofAck); err != nil {
+		return err
+	}
+	ch.State = StateOpen
+	setJSON(ctx, ChannelKey(m.Port, m.Channel), ch)
+	ctx.State.Set(NextSequenceSendKey(m.Port, m.Channel), []byte("1"))
+	return nil
+}
+
+// --- packet lifecycle -------------------------------------------------------------
+
+// SendPacket stores a packet commitment and emits the send_packet event
+// the relayer watches for. Called by port modules (e.g. transfer).
+func (k *Keeper) SendPacket(ctx *app.Context, port, channel string, data []byte, timeoutHeight int64, timeoutTimestamp time.Duration) (Packet, []abci.Event, error) {
+	ch, err := k.Channel(ctx, port, channel)
+	if err != nil {
+		return Packet{}, nil, err
+	}
+	if ch.State != StateOpen {
+		return Packet{}, nil, fmt.Errorf("%w: %s/%s", ErrChannelNotOpen, port, channel)
+	}
+	seq := k.nextSequenceSend(ctx, port, channel)
+	p := Packet{
+		Sequence:         seq,
+		SourcePort:       port,
+		SourceChannel:    channel,
+		DestPort:         ch.CounterpartyPort,
+		DestChannel:      ch.CounterpartyChan,
+		Data:             data,
+		TimeoutHeight:    timeoutHeight,
+		TimeoutTimestamp: timeoutTimestamp,
+	}
+	ctx.State.Set(PacketCommitmentKey(port, channel, seq), p.CommitmentBytes())
+	raw, _ := json.Marshal(p)
+	ev := abci.Event{
+		Type: "send_packet",
+		Attributes: map[string]string{
+			"packet":      string(raw),
+			"src_port":    port,
+			"src_channel": channel,
+			"dst_port":    ch.CounterpartyPort,
+			"dst_channel": ch.CounterpartyChan,
+			"sequence":    fmt.Sprint(seq),
+		},
+	}
+	return p, []abci.Event{ev}, nil
+}
+
+func (k *Keeper) nextSequenceSend(ctx *app.Context, port, channel string) uint64 {
+	key := NextSequenceSendKey(port, channel)
+	raw, _ := ctx.State.Get(key)
+	var seq uint64 = 1
+	if len(raw) > 0 {
+		fmt.Sscan(string(raw), &seq)
+	}
+	ctx.State.Set(key, []byte(fmt.Sprint(seq+1)))
+	return seq
+}
+
+// recvPacket verifies and executes an inbound packet, writing the
+// receipt and acknowledgement.
+func (k *Keeper) recvPacket(ctx *app.Context, m MsgRecvPacket) ([]abci.Event, error) {
+	p := m.Packet
+	clientID, ch, err := k.clientForChannel(ctx, p.DestPort, p.DestChannel)
+	if err != nil {
+		return nil, err
+	}
+	if ch.State != StateOpen {
+		return nil, fmt.Errorf("%w: %s/%s", ErrChannelNotOpen, p.DestPort, p.DestChannel)
+	}
+	if ch.CounterpartyPort != p.SourcePort || ch.CounterpartyChan != p.SourceChannel {
+		return nil, fmt.Errorf("ibc: packet route mismatch")
+	}
+	if timeoutElapsed(&p, ctx.Height, ctx.Time) {
+		return nil, fmt.Errorf("%w: height %d time %v", ErrPacketTimedOut, ctx.Height, ctx.Time)
+	}
+	// Unordered channel: exactly-once via receipts.
+	receiptKey := PacketReceiptKey(p.DestPort, p.DestChannel, p.Sequence)
+	if ctx.State.Has(receiptKey) {
+		return nil, fmt.Errorf("%w: %s/%s seq %d", ErrRedundantPacket, p.SourcePort, p.SourceChannel, p.Sequence)
+	}
+	// Verify the source chain committed this packet.
+	if err := k.verifyMembership(ctx, clientID, m.ProofHeight,
+		PacketCommitmentKey(p.SourcePort, p.SourceChannel, p.Sequence),
+		p.CommitmentBytes(), m.ProofCommitment); err != nil {
+		return nil, err
+	}
+	ctx.State.Set(receiptKey, []byte{1})
+
+	mod, ok := k.ports[p.DestPort]
+	if !ok {
+		return nil, fmt.Errorf("ibc: no module bound to port %s", p.DestPort)
+	}
+	ack := mod.OnRecvPacket(ctx, p)
+	ctx.State.Set(PacketAckKey(p.DestPort, p.DestChannel, p.Sequence), hashAck(ack.Bytes()))
+
+	raw, _ := json.Marshal(p)
+	ev := abci.Event{
+		Type: "write_acknowledgement",
+		Attributes: map[string]string{
+			"packet":   string(raw),
+			"ack":      string(ack.Bytes()),
+			"sequence": fmt.Sprint(p.Sequence),
+		},
+	}
+	return []abci.Event{ev}, nil
+}
+
+// acknowledgePacket completes the transfer on the source chain.
+func (k *Keeper) acknowledgePacket(ctx *app.Context, m MsgAcknowledgement) error {
+	p := m.Packet
+	clientID, ch, err := k.clientForChannel(ctx, p.SourcePort, p.SourceChannel)
+	if err != nil {
+		return err
+	}
+	if ch.State != StateOpen {
+		return fmt.Errorf("%w: %s/%s", ErrChannelNotOpen, p.SourcePort, p.SourceChannel)
+	}
+	commitKey := PacketCommitmentKey(p.SourcePort, p.SourceChannel, p.Sequence)
+	if !ctx.State.Has(commitKey) {
+		// Already acknowledged or timed out: redundant relay.
+		return fmt.Errorf("%w: ack for seq %d", ErrRedundantPacket, p.Sequence)
+	}
+	if err := k.verifyMembership(ctx, clientID, m.ProofHeight,
+		PacketAckKey(p.DestPort, p.DestChannel, p.Sequence),
+		hashAck(m.Ack), m.ProofAcked); err != nil {
+		return err
+	}
+	ctx.State.Delete(commitKey)
+
+	mod, ok := k.ports[p.SourcePort]
+	if !ok {
+		return fmt.Errorf("ibc: no module bound to port %s", p.SourcePort)
+	}
+	ack, err := ParseAck(m.Ack)
+	if err != nil {
+		return err
+	}
+	return mod.OnAcknowledgementPacket(ctx, p, ack)
+}
+
+// timeoutPacket aborts a packet on the source chain after proving
+// non-receipt on the destination past the timeout.
+func (k *Keeper) timeoutPacket(ctx *app.Context, m MsgTimeout) error {
+	p := m.Packet
+	clientID, ch, err := k.clientForChannel(ctx, p.SourcePort, p.SourceChannel)
+	if err != nil {
+		return err
+	}
+	commitKey := PacketCommitmentKey(p.SourcePort, p.SourceChannel, p.Sequence)
+	if !ctx.State.Has(commitKey) {
+		return fmt.Errorf("%w: timeout for seq %d", ErrRedundantPacket, p.Sequence)
+	}
+	_ = ch
+	// The consensus state at proofHeight must be past the timeout.
+	cons, err := k.Consensus(ctx, clientID, m.ProofHeight)
+	if err != nil {
+		return err
+	}
+	elapsed := false
+	if p.TimeoutHeight > 0 && m.ProofHeight >= p.TimeoutHeight {
+		elapsed = true
+	}
+	if p.TimeoutTimestamp > 0 && cons.Timestamp >= p.TimeoutTimestamp {
+		elapsed = true
+	}
+	if !elapsed {
+		return fmt.Errorf("%w: seq %d at proof height %d", ErrTimeoutTooEarly, p.Sequence, m.ProofHeight)
+	}
+	if err := k.verifyNonMembership(ctx, clientID, m.ProofHeight,
+		PacketReceiptKey(p.DestPort, p.DestChannel, p.Sequence), m.ProofUnreceived); err != nil {
+		return err
+	}
+	ctx.State.Delete(commitKey)
+
+	mod, ok := k.ports[p.SourcePort]
+	if !ok {
+		return fmt.Errorf("ibc: no module bound to port %s", p.SourcePort)
+	}
+	return mod.OnTimeoutPacket(ctx, p)
+}
+
+// hashAck is the stored acknowledgement commitment.
+func hashAck(ack []byte) []byte {
+	h := merkle.LeafHash([]byte("ack"), ack)
+	return h[:]
+}
+
+// HasCommitment reports whether a packet commitment is still stored
+// (pending, not yet acknowledged or timed out).
+func (k *Keeper) HasCommitment(ctx *app.Context, port, channel string, seq uint64) bool {
+	return ctx.State.Has(PacketCommitmentKey(port, channel, seq))
+}
+
+// HasReceipt reports whether a packet was received.
+func (k *Keeper) HasReceipt(ctx *app.Context, port, channel string, seq uint64) bool {
+	return ctx.State.Has(PacketReceiptKey(port, channel, seq))
+}

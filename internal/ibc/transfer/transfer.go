@@ -1,0 +1,217 @@
+// Package transfer implements ICS-20 fungible token transfer: escrow and
+// voucher minting with denomination traces, the application the paper's
+// workloads exercise (every benchmark transaction carries 100
+// MsgTransfer messages).
+//
+// Tokens sent through different channels receive different trace-prefixed
+// denominations and are therefore not fungible with each other — the
+// downside the paper notes for scaling throughput with per-relayer
+// channels (§IV-A).
+package transfer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"ibcbench/internal/abci"
+	"ibcbench/internal/app"
+	"ibcbench/internal/ibc"
+	"ibcbench/internal/simconf"
+)
+
+// PortID is the standard ICS-20 port.
+const PortID = "transfer"
+
+// Module errors.
+var (
+	ErrBadPacketData = errors.New("transfer: malformed packet data")
+)
+
+// MsgTransfer requests a cross-chain fungible token transfer (the paper's
+// workload message).
+type MsgTransfer struct {
+	Sender        string
+	Receiver      string
+	Token         app.Coin
+	SourcePort    string
+	SourceChannel string
+	// TimeoutHeight is the destination height after which the packet can
+	// no longer be received (0 = no height timeout).
+	TimeoutHeight int64
+	// TimeoutTimestamp is the destination block-time deadline.
+	TimeoutTimestamp time.Duration
+	// Nonce disambiguates otherwise-identical transfers in a batch.
+	Nonce uint64
+}
+
+// Route implements app.Msg.
+func (MsgTransfer) Route() string { return PortID }
+
+// MsgType implements app.Msg.
+func (MsgTransfer) MsgType() string { return "MsgTransfer" }
+
+// WireSize implements app.Msg.
+func (MsgTransfer) WireSize() int { return simconf.MsgTransferBytes }
+
+// Digest binds the transfer's content into the enclosing tx hash.
+func (m MsgTransfer) Digest() []byte {
+	return []byte(fmt.Sprintf("xfer/%s/%s/%s/%s/%d",
+		m.Sender, m.Receiver, m.Token, m.SourceChannel, m.Nonce))
+}
+
+// PacketData is the ICS-20 packet payload.
+type PacketData struct {
+	Denom    string `json:"denom"`
+	Amount   uint64 `json:"amount"`
+	Sender   string `json:"sender"`
+	Receiver string `json:"receiver"`
+}
+
+// Module is the ICS-20 application module for one chain.
+type Module struct {
+	keeper *ibc.Keeper
+
+	// Counters for analysis.
+	sent     uint64
+	received uint64
+	acked    uint64
+	refunded uint64
+}
+
+var _ ibc.PortModule = (*Module)(nil)
+
+// New wires the transfer module into an app and its IBC keeper.
+func New(a *app.App, k *ibc.Keeper) *Module {
+	m := &Module{keeper: k}
+	k.BindPort(PortID, m)
+	a.RegisterRoute(PortID, m.handleMsg)
+	return m
+}
+
+// Stats reports (sent, received, acked, refunded) packet counts.
+func (m *Module) Stats() (sent, received, acked, refunded uint64) {
+	return m.sent, m.received, m.acked, m.refunded
+}
+
+// EscrowAccount names the module account holding escrowed tokens for a
+// channel.
+func EscrowAccount(port, channel string) string {
+	return "escrow/" + port + "/" + channel
+}
+
+// VoucherPrefix is the denom trace prefix added on the receiving chain.
+func VoucherPrefix(port, channel string) string {
+	return port + "/" + channel + "/"
+}
+
+// handleMsg executes MsgTransfer.
+func (m *Module) handleMsg(ctx *app.Context, msg app.Msg) (*app.Result, error) {
+	mt, ok := msg.(MsgTransfer)
+	if !ok {
+		return nil, fmt.Errorf("transfer: unexpected msg %T", msg)
+	}
+	res := &app.Result{GasUsed: app.MsgGas(mt.MsgType())}
+	ev, err := m.sendTransfer(ctx, mt)
+	if err != nil {
+		return res, err
+	}
+	res.Events = ev
+	return res, nil
+}
+
+// sendTransfer escrows or burns the token and emits the packet.
+func (m *Module) sendTransfer(ctx *app.Context, mt MsgTransfer) ([]abci.Event, error) {
+	prefix := VoucherPrefix(mt.SourcePort, mt.SourceChannel)
+	if strings.HasPrefix(mt.Token.Denom, prefix) {
+		// Voucher returning to its origin: burn here, unescrow there.
+		if err := ctx.Bank.Burn(mt.Sender, mt.Token); err != nil {
+			return nil, err
+		}
+	} else {
+		// This chain is the token source: lock in the channel escrow.
+		escrow := EscrowAccount(mt.SourcePort, mt.SourceChannel)
+		if err := ctx.Bank.Send(mt.Sender, escrow, mt.Token); err != nil {
+			return nil, err
+		}
+	}
+	data, err := json.Marshal(PacketData{
+		Denom:    mt.Token.Denom,
+		Amount:   mt.Token.Amount,
+		Sender:   mt.Sender,
+		Receiver: mt.Receiver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, events, err := m.keeper.SendPacket(ctx, mt.SourcePort, mt.SourceChannel,
+		data, mt.TimeoutHeight, mt.TimeoutTimestamp)
+	if err != nil {
+		return nil, err
+	}
+	m.sent++
+	return events, nil
+}
+
+// OnRecvPacket implements ibc.PortModule: mint a voucher or unescrow the
+// original token.
+func (m *Module) OnRecvPacket(ctx *app.Context, p ibc.Packet) ibc.Acknowledgement {
+	var data PacketData
+	if err := json.Unmarshal(p.Data, &data); err != nil {
+		return ibc.Acknowledgement{Error: ErrBadPacketData.Error()}
+	}
+	srcPrefix := VoucherPrefix(p.SourcePort, p.SourceChannel)
+	if strings.HasPrefix(data.Denom, srcPrefix) {
+		// Token is returning home: release from this chain's escrow.
+		unwrapped := strings.TrimPrefix(data.Denom, srcPrefix)
+		escrow := EscrowAccount(p.DestPort, p.DestChannel)
+		if err := ctx.Bank.Send(escrow, data.Receiver, app.Coin{Denom: unwrapped, Amount: data.Amount}); err != nil {
+			return ibc.Acknowledgement{Error: err.Error()}
+		}
+	} else {
+		// Mint a voucher with this channel's trace prefix.
+		voucher := VoucherPrefix(p.DestPort, p.DestChannel) + data.Denom
+		ctx.Bank.Mint(data.Receiver, app.Coin{Denom: voucher, Amount: data.Amount})
+	}
+	m.received++
+	return ibc.Acknowledgement{Result: []byte("AQ==")}
+}
+
+// OnAcknowledgementPacket implements ibc.PortModule: refund on error ack.
+func (m *Module) OnAcknowledgementPacket(ctx *app.Context, p ibc.Packet, ack ibc.Acknowledgement) error {
+	if ack.Success() {
+		m.acked++
+		return nil
+	}
+	return m.refund(ctx, p)
+}
+
+// OnTimeoutPacket implements ibc.PortModule: undo the escrow/burn, the
+// behaviour of the paper's Fig. 3 OnPacketTimeout step ("unlocking assets
+// that were previously held locked while the transfer request was
+// pending").
+func (m *Module) OnTimeoutPacket(ctx *app.Context, p ibc.Packet) error {
+	return m.refund(ctx, p)
+}
+
+func (m *Module) refund(ctx *app.Context, p ibc.Packet) error {
+	var data PacketData
+	if err := json.Unmarshal(p.Data, &data); err != nil {
+		return ErrBadPacketData
+	}
+	coin := app.Coin{Denom: data.Denom, Amount: data.Amount}
+	prefix := VoucherPrefix(p.SourcePort, p.SourceChannel)
+	if strings.HasPrefix(data.Denom, prefix) {
+		// The burned voucher is re-minted.
+		ctx.Bank.Mint(data.Sender, coin)
+	} else {
+		escrow := EscrowAccount(p.SourcePort, p.SourceChannel)
+		if err := ctx.Bank.Send(escrow, data.Sender, coin); err != nil {
+			return err
+		}
+	}
+	m.refunded++
+	return nil
+}

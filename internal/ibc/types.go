@@ -1,0 +1,164 @@
+// Package ibc implements the core Inter-Blockchain Communication
+// protocol (§II-B of the paper): light clients tracking counterparty
+// consensus, the connection and channel handshakes, and the packet
+// lifecycle — send commitments, receipts, acknowledgements and timeouts —
+// with merkle proof verification against counterparty state roots.
+package ibc
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ibcbench/internal/merkle"
+)
+
+// State machine phases for connections and channels.
+type HandshakeState byte
+
+// Handshake states (INIT/TRYOPEN/OPEN as in ICS-3 / ICS-4).
+const (
+	StateInit HandshakeState = iota + 1
+	StateTryOpen
+	StateOpen
+)
+
+// Order is the channel ordering mode.
+type Order byte
+
+// Channel orderings: the paper's experiments use an unordered channel.
+const (
+	Unordered Order = iota + 1
+	Ordered
+)
+
+// Packet is an IBC packet (ICS-4).
+type Packet struct {
+	Sequence         uint64        `json:"sequence"`
+	SourcePort       string        `json:"source_port"`
+	SourceChannel    string        `json:"source_channel"`
+	DestPort         string        `json:"dest_port"`
+	DestChannel      string        `json:"dest_channel"`
+	Data             []byte        `json:"data"`
+	TimeoutHeight    int64         `json:"timeout_height,omitempty"`
+	TimeoutTimestamp time.Duration `json:"timeout_timestamp,omitempty"`
+}
+
+// CommitmentBytes is the value stored under the packet commitment key:
+// a digest of the packet data and timeouts.
+func (p *Packet) CommitmentBytes() []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d/%d/", p.TimeoutHeight, p.TimeoutTimestamp)
+	h.Write(p.Data)
+	return h.Sum(nil)
+}
+
+// Key paths in the application state (ICS-24 host requirements).
+func ClientStateKey(clientID string) string {
+	return "clients/" + clientID + "/clientState"
+}
+
+func ConsensusStateKey(clientID string, height int64) string {
+	return fmt.Sprintf("clients/%s/consensusStates/%d", clientID, height)
+}
+
+func ConnectionKey(connID string) string {
+	return "connections/" + connID
+}
+
+func ChannelKey(port, channel string) string {
+	return "channelEnds/ports/" + port + "/channels/" + channel
+}
+
+func NextSequenceSendKey(port, channel string) string {
+	return "nextSequenceSend/ports/" + port + "/channels/" + channel
+}
+
+func PacketCommitmentKey(port, channel string, seq uint64) string {
+	return fmt.Sprintf("commitments/ports/%s/channels/%s/sequences/%d", port, channel, seq)
+}
+
+func PacketReceiptKey(port, channel string, seq uint64) string {
+	return fmt.Sprintf("receipts/ports/%s/channels/%s/sequences/%d", port, channel, seq)
+}
+
+func PacketAckKey(port, channel string, seq uint64) string {
+	return fmt.Sprintf("acks/ports/%s/channels/%s/sequences/%d", port, channel, seq)
+}
+
+// ValidatorRecord pins one counterparty validator in a client state.
+type ValidatorRecord struct {
+	PubKey []byte `json:"pub_key"`
+	Power  int64  `json:"power"`
+}
+
+// ClientState is the stored light-client state for a counterparty chain.
+type ClientState struct {
+	ChainID      string            `json:"chain_id"`
+	LatestHeight int64             `json:"latest_height"`
+	Validators   []ValidatorRecord `json:"validators"`
+}
+
+// ConsensusState is the verified counterparty state at one height: the
+// app root proofs are checked against, and the block timestamp used for
+// timeout checks.
+type ConsensusState struct {
+	Root      merkle.Hash   `json:"root"`
+	Timestamp time.Duration `json:"timestamp"`
+}
+
+// ConnectionEnd is the stored connection state (ICS-3).
+type ConnectionEnd struct {
+	State                HandshakeState `json:"state"`
+	ClientID             string         `json:"client_id"`
+	CounterpartyConnID   string         `json:"counterparty_conn_id"`
+	CounterpartyClientID string         `json:"counterparty_client_id"`
+}
+
+// ChannelEnd is the stored channel state (ICS-4).
+type ChannelEnd struct {
+	State            HandshakeState `json:"state"`
+	Ordering         Order          `json:"ordering"`
+	CounterpartyPort string         `json:"counterparty_port"`
+	CounterpartyChan string         `json:"counterparty_chan"`
+	ConnectionID     string         `json:"connection_id"`
+	Version          string         `json:"version"`
+}
+
+// Acknowledgement is the ICS-20-style result/error acknowledgement.
+type Acknowledgement struct {
+	Result []byte `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Success reports whether the acknowledgement is a success ack.
+func (a Acknowledgement) Success() bool { return a.Error == "" }
+
+// Bytes serializes the acknowledgement.
+func (a Acknowledgement) Bytes() []byte {
+	b, err := json.Marshal(a)
+	if err != nil {
+		return []byte(`{"error":"marshal"}`)
+	}
+	return b
+}
+
+// ParseAck deserializes an acknowledgement.
+func ParseAck(raw []byte) (Acknowledgement, error) {
+	var a Acknowledgement
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return a, fmt.Errorf("ibc: parse ack: %w", err)
+	}
+	return a, nil
+}
+
+// Proof carries a membership or non-membership proof for a state key on
+// the counterparty, verified against a consensus state root. In
+// performance mode (full proofs disabled) both fields are nil and
+// verification is skipped — the virtual-time cost of proof handling is
+// still modeled by the relayer's data-pull and build steps.
+type Proof struct {
+	Membership    *merkle.MembershipProof
+	NonMembership *merkle.NonMembershipProof
+}

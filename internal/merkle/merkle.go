@@ -1,0 +1,334 @@
+// Package merkle implements the authenticated key-value commitment used
+// by the simulated blockchains.
+//
+// Cosmos chains commit their application state to an AppHash in every
+// block header; IBC light clients verify packet commitments, receipts and
+// acknowledgements against that root via merkle membership and
+// non-membership proofs (ICS-23). This package provides a deterministic
+// SHA-256 merkle tree over sorted key-value leaves with both proof kinds.
+//
+// The tree is a complete binary tree padded to a power of two, built once
+// in O(n) and serving proofs in O(log n) — the relayer requests one proof
+// per packet message, thousands per block, so proof generation must be
+// cheap.
+package merkle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"sort"
+)
+
+// Hash is a 32-byte SHA-256 digest.
+type Hash [sha256.Size]byte
+
+// Domain-separation prefixes prevent leaf/inner second-preimage attacks.
+const (
+	leafPrefix  = byte(0x00)
+	innerPrefix = byte(0x01)
+)
+
+var (
+	// ErrProofInvalid reports a proof that does not verify against the root.
+	ErrProofInvalid = errors.New("merkle: proof does not verify")
+	// ErrKeyPresent reports a non-membership proof for a key that is present.
+	ErrKeyPresent = errors.New("merkle: key is present")
+	// emptyRoot commits to the empty tree.
+	emptyRoot = sha256.Sum256([]byte("ibcbench/empty-tree"))
+	// padLeaf fills the tree out to a power of two.
+	padLeaf = sha256.Sum256([]byte("ibcbench/pad-leaf"))
+)
+
+// LeafHash hashes a key-value leaf with domain separation and length
+// prefixes.
+func LeafHash(key, value []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(key)))
+	h.Write(n[:])
+	h.Write(key)
+	binary.BigEndian.PutUint64(n[:], uint64(len(value)))
+	h.Write(n[:])
+	h.Write(value)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// InnerHash combines two child digests.
+func InnerHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{innerPrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// levels builds the full tree bottom-up from (padded) leaves.
+func buildLevels(leaves []Hash) [][]Hash {
+	m := 1
+	for m < len(leaves) {
+		m *= 2
+	}
+	level := make([]Hash, m)
+	copy(level, leaves)
+	for i := len(leaves); i < m; i++ {
+		level[i] = padLeaf
+	}
+	out := [][]Hash{level}
+	for len(level) > 1 {
+		next := make([]Hash, len(level)/2)
+		for i := range next {
+			next[i] = InnerHash(level[2*i], level[2*i+1])
+		}
+		out = append(out, next)
+		level = next
+	}
+	return out
+}
+
+// HashLeaves computes the root commitment over a sequence of leaf
+// digests (used for block data, evidence and commit hashes).
+func HashLeaves(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return emptyRoot
+	}
+	lv := buildLevels(leaves)
+	return lv[len(lv)-1][0]
+}
+
+// Tree is an immutable merkle tree over a key-value snapshot.
+type Tree struct {
+	keys   [][]byte
+	values [][]byte
+	levels [][]Hash
+	root   Hash
+}
+
+// NewTree builds a tree from a snapshot map. Keys are sorted bytewise.
+func NewTree(kv map[string][]byte) *Tree {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := &Tree{
+		keys:   make([][]byte, len(keys)),
+		values: make([][]byte, len(keys)),
+	}
+	leaves := make([]Hash, len(keys))
+	for i, k := range keys {
+		t.keys[i] = []byte(k)
+		t.values[i] = kv[k]
+		leaves[i] = LeafHash(t.keys[i], t.values[i])
+	}
+	if len(leaves) == 0 {
+		t.root = emptyRoot
+		return t
+	}
+	t.levels = buildLevels(leaves)
+	t.root = t.levels[len(t.levels)-1][0]
+	return t
+}
+
+// Root returns the tree's commitment.
+func (t *Tree) Root() Hash { return t.root }
+
+// Len reports the number of (real, unpadded) leaves.
+func (t *Tree) Len() int { return len(t.keys) }
+
+// Get returns the value for key and whether it is present.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	i := t.search(key)
+	if i < len(t.keys) && bytes.Equal(t.keys[i], key) {
+		return t.values[i], true
+	}
+	return nil, false
+}
+
+func (t *Tree) search(key []byte) int {
+	return sort.Search(len(t.keys), func(i int) bool {
+		return bytes.Compare(t.keys[i], key) >= 0
+	})
+}
+
+// PathStep is one sibling digest on an audit path.
+type PathStep struct {
+	// Left reports whether the sibling is the left child at this level.
+	Left    bool
+	Sibling Hash
+}
+
+// MembershipProof proves a key-value pair is committed by a root.
+type MembershipProof struct {
+	// Index is the leaf position in the sorted order; Total the leaf count.
+	Index int
+	Total int
+	Path  []PathStep
+}
+
+// ProveMembership builds a membership proof for key. It returns the bound
+// value along with the proof, or false if the key is absent.
+func (t *Tree) ProveMembership(key []byte) ([]byte, *MembershipProof, bool) {
+	i := t.search(key)
+	if i >= len(t.keys) || !bytes.Equal(t.keys[i], key) {
+		return nil, nil, false
+	}
+	p := &MembershipProof{Index: i, Total: len(t.keys)}
+	idx := i
+	for level := 0; level < len(t.levels)-1; level++ {
+		sib := idx ^ 1
+		p.Path = append(p.Path, PathStep{
+			Left:    sib < idx,
+			Sibling: t.levels[level][sib],
+		})
+		idx /= 2
+	}
+	return t.values[i], p, true
+}
+
+// RootFromProof recomputes the root implied by a leaf digest and path.
+func RootFromProof(leaf Hash, path []PathStep) Hash {
+	cur := leaf
+	for _, st := range path {
+		if st.Left {
+			cur = InnerHash(st.Sibling, cur)
+		} else {
+			cur = InnerHash(cur, st.Sibling)
+		}
+	}
+	return cur
+}
+
+// VerifyMembership checks that (key, value) is committed by root. The
+// proof's claimed Index must be consistent with the path's direction
+// flags (bit i of the index says whether the sibling at level i is the
+// left child), which binds the index used by non-membership adjacency
+// checks.
+func VerifyMembership(root Hash, key, value []byte, p *MembershipProof) error {
+	if p == nil || p.Index < 0 {
+		return ErrProofInvalid
+	}
+	idx := p.Index
+	for _, st := range p.Path {
+		if st.Left != (idx&1 == 1) {
+			return ErrProofInvalid
+		}
+		idx /= 2
+	}
+	if idx != 0 {
+		return ErrProofInvalid
+	}
+	if got := RootFromProof(LeafHash(key, value), p.Path); got != root {
+		return ErrProofInvalid
+	}
+	return nil
+}
+
+// NonMembershipProof proves a key is absent from the committed snapshot.
+//
+// It carries membership proofs for the immediate lexicographic neighbours
+// of the absent key (either may be nil at the edges of the key space),
+// with their keys and values, plus the total leaf count so adjacency is
+// checkable.
+type NonMembershipProof struct {
+	Total int
+
+	LeftKey    []byte
+	LeftValue  []byte
+	LeftProof  *MembershipProof
+	RightKey   []byte
+	RightValue []byte
+	RightProof *MembershipProof
+}
+
+// ProveNonMembership builds an absence proof for key. It returns false if
+// the key is present.
+func (t *Tree) ProveNonMembership(key []byte) (*NonMembershipProof, bool) {
+	i := t.search(key)
+	if i < len(t.keys) && bytes.Equal(t.keys[i], key) {
+		return nil, false
+	}
+	p := &NonMembershipProof{Total: len(t.keys)}
+	if i > 0 {
+		v, mp, ok := t.ProveMembership(t.keys[i-1])
+		if !ok {
+			return nil, false
+		}
+		p.LeftKey, p.LeftValue, p.LeftProof = t.keys[i-1], v, mp
+	}
+	if i < len(t.keys) {
+		v, mp, ok := t.ProveMembership(t.keys[i])
+		if !ok {
+			return nil, false
+		}
+		p.RightKey, p.RightValue, p.RightProof = t.keys[i], v, mp
+	}
+	return p, true
+}
+
+// VerifyNonMembership checks that key is absent from the snapshot
+// committed by root.
+func VerifyNonMembership(root Hash, key []byte, p *NonMembershipProof) error {
+	if p == nil {
+		return ErrProofInvalid
+	}
+	// Empty tree: everything is absent.
+	if p.Total == 0 {
+		if p.LeftProof == nil && p.RightProof == nil && root == emptyRoot {
+			return nil
+		}
+		return ErrProofInvalid
+	}
+	leftIdx := -1
+	if p.LeftProof != nil {
+		if bytes.Compare(p.LeftKey, key) >= 0 {
+			return ErrProofInvalid
+		}
+		if err := VerifyMembership(root, p.LeftKey, p.LeftValue, p.LeftProof); err != nil {
+			return err
+		}
+		if p.LeftProof.Total != p.Total {
+			return ErrProofInvalid
+		}
+		leftIdx = p.LeftProof.Index
+	}
+	rightIdx := p.Total
+	if p.RightProof != nil {
+		if c := bytes.Compare(p.RightKey, key); c <= 0 {
+			if c == 0 {
+				return ErrKeyPresent
+			}
+			return ErrProofInvalid
+		}
+		if err := VerifyMembership(root, p.RightKey, p.RightValue, p.RightProof); err != nil {
+			return err
+		}
+		if p.RightProof.Total != p.Total {
+			return ErrProofInvalid
+		}
+		rightIdx = p.RightProof.Index
+	}
+	// The neighbours must be adjacent: no leaf lies between them.
+	if p.LeftProof == nil {
+		if rightIdx != 0 {
+			return ErrProofInvalid
+		}
+		return nil
+	}
+	if p.RightProof == nil {
+		if leftIdx != p.Total-1 {
+			return ErrProofInvalid
+		}
+		return nil
+	}
+	if rightIdx != leftIdx+1 {
+		return ErrProofInvalid
+	}
+	return nil
+}

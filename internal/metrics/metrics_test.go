@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func key(seq uint64) PacketKey {
+	return PacketKey{SrcChain: "a", Channel: "channel-0", Sequence: seq}
+}
+
+func TestRecordFirstWriteWins(t *testing.T) {
+	tr := NewTracker()
+	tr.Record(key(1), StepRecvBuild, 10*time.Second)
+	tr.Record(key(1), StepRecvBuild, 20*time.Second) // redundant relayer
+	at, ok := tr.StepTime(key(1), StepRecvBuild)
+	if !ok || at != 10*time.Second {
+		t.Fatalf("at = %v ok=%v", at, ok)
+	}
+	if _, ok := tr.StepTime(key(1), StepAckBuild); ok {
+		t.Fatal("unset step reported")
+	}
+	if _, ok := tr.StepTime(key(9), StepAckBuild); ok {
+		t.Fatal("unknown packet reported")
+	}
+}
+
+func TestStatusClassification(t *testing.T) {
+	tr := NewTracker()
+	tr.AddRequested(5)
+	// seq 1: completed; seq 2: partial; seq 3: initiated; seq 4: broadcast only.
+	tr.Record(key(1), StepTransferConfirmation, 1)
+	tr.Record(key(1), StepRecvConfirmation, 2)
+	tr.Record(key(1), StepAckConfirmation, 3)
+	tr.Record(key(2), StepTransferConfirmation, 1)
+	tr.Record(key(2), StepRecvConfirmation, 2)
+	tr.Record(key(3), StepTransferConfirmation, 1)
+	tr.Record(key(4), StepTransferBroadcast, 1)
+	counts := tr.CompletionCounts()
+	if counts[StatusCompleted] != 1 || counts[StatusPartial] != 1 ||
+		counts[StatusInitiated] != 1 || counts[StatusNotCommitted] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if tr.StatusOf(key(9)) != StatusNotCommitted {
+		t.Fatal("unknown packet not NotCommitted")
+	}
+}
+
+func TestCompletionTimesAndWindow(t *testing.T) {
+	tr := NewTracker()
+	tr.Record(key(1), StepTransferBroadcast, 5*time.Second)
+	tr.Record(key(1), StepAckConfirmation, 30*time.Second)
+	tr.Record(key(2), StepTransferBroadcast, 5*time.Second)
+	tr.Record(key(2), StepAckConfirmation, 60*time.Second)
+	lats := tr.CompletionTimes()
+	if len(lats) != 2 || lats[0] != 25*time.Second || lats[1] != 55*time.Second {
+		t.Fatalf("lats = %v", lats)
+	}
+	if n := tr.CompletedBetween(0, 40*time.Second); n != 1 {
+		t.Fatalf("window count = %d", n)
+	}
+	first, last, ok := tr.StepSpan(StepAckConfirmation)
+	if !ok || first != 30*time.Second || last != 60*time.Second {
+		t.Fatalf("span = %v..%v", first, last)
+	}
+	if _, _, ok := tr.StepSpan(StepRecvBuild); ok {
+		t.Fatal("empty step had a span")
+	}
+}
+
+func TestStepNamesCoverAll13(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Step(1); int(s) <= NumSteps; s++ {
+		name := s.String()
+		if seen[name] {
+			t.Fatalf("duplicate step name %q", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) != 13 {
+		t.Fatalf("steps = %d, want 13", len(seen))
+	}
+	if Step(99).String() == "" {
+		t.Fatal("out-of-range name empty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Summarize(nil)
+	if d.N != 0 {
+		t.Fatal("empty dist")
+	}
+	d = Summarize([]float64{4, 1, 3, 2})
+	if d.Min != 1 || d.Max != 4 || d.Median != 2.5 || d.Mean != 2.5 {
+		t.Fatalf("dist = %+v", d)
+	}
+	if d.Q1 >= d.Median || d.Q3 <= d.Median {
+		t.Fatalf("quartiles = %+v", d)
+	}
+	single := Summarize([]float64{7})
+	if single.Median != 7 || single.Std != 0 {
+		t.Fatalf("single = %+v", single)
+	}
+}
+
+// Property: Summarize is order-invariant and bounds hold.
+func TestSummarizeProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if x != x { // NaN
+				return true
+			}
+		}
+		d := Summarize(xs)
+		rev := make([]float64, len(xs))
+		for i, x := range xs {
+			rev[len(xs)-1-i] = x
+		}
+		d2 := Summarize(rev)
+		return d == d2 && d.Min <= d.Q1 && d.Q1 <= d.Median &&
+			d.Median <= d.Q3 && d.Q3 <= d.Max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

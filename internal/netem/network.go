@@ -1,0 +1,147 @@
+// Package netem models the network connecting validators, full nodes and
+// relayers.
+//
+// The paper's testbed is five machines on a LAN with an enforced 200 ms
+// round-trip latency between any pair (§III-C). Network models a set of
+// named hosts with a configurable one-way latency matrix plus jitter, on
+// top of the shared sim.Scheduler virtual clock. Messages between
+// processes on the same host are delivered with loopback latency.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"ibcbench/internal/sim"
+)
+
+// Host identifies a machine in the testbed.
+type Host string
+
+// Config describes the latency characteristics of the emulated network.
+type Config struct {
+	// OneWayLatency is half the enforced round-trip time between any two
+	// distinct hosts. The paper enforces RTT = 200 ms, i.e. 100 ms one-way.
+	OneWayLatency time.Duration
+
+	// LoopbackLatency applies between processes on the same host. The
+	// paper's relayer talks to its blockchain nodes "via local endpoints".
+	LoopbackLatency time.Duration
+
+	// JitterRelStd is the relative standard deviation applied to each
+	// delivery, modeling OS scheduling and queueing noise.
+	JitterRelStd float64
+
+	// DropRate is the probability a message is silently dropped. The
+	// paper's LAN does not lose messages; failure-injection tests set it.
+	DropRate float64
+}
+
+// DefaultWAN reproduces the paper's emulated wide-area conditions.
+func DefaultWAN() Config {
+	return Config{
+		OneWayLatency:   100 * time.Millisecond,
+		LoopbackLatency: 200 * time.Microsecond,
+		JitterRelStd:    0.05,
+	}
+}
+
+// DefaultLAN reproduces the paper's "<0.5 ms" local-area baseline runs.
+func DefaultLAN() Config {
+	return Config{
+		OneWayLatency:   200 * time.Microsecond,
+		LoopbackLatency: 50 * time.Microsecond,
+		JitterRelStd:    0.05,
+	}
+}
+
+// Network delivers messages between hosts with emulated latency.
+type Network struct {
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	cfg   Config
+
+	// links optionally overrides latency for specific host pairs.
+	links map[linkKey]time.Duration
+
+	// partitioned holds host pairs that currently cannot communicate.
+	partitioned map[linkKey]bool
+
+	sent    uint64
+	dropped uint64
+}
+
+type linkKey struct{ from, to Host }
+
+// New returns a network using the given clock, randomness and config.
+func New(s *sim.Scheduler, rng *sim.RNG, cfg Config) *Network {
+	return &Network{
+		sched:       s,
+		rng:         rng,
+		cfg:         cfg,
+		links:       make(map[linkKey]time.Duration),
+		partitioned: make(map[linkKey]bool),
+	}
+}
+
+// SetLinkLatency overrides the one-way latency from one host to another.
+func (n *Network) SetLinkLatency(from, to Host, d time.Duration) {
+	n.links[linkKey{from, to}] = d
+}
+
+// Partition severs communication in both directions between two hosts.
+func (n *Network) Partition(a, b Host) {
+	n.partitioned[linkKey{a, b}] = true
+	n.partitioned[linkKey{b, a}] = true
+}
+
+// Heal restores communication between two hosts.
+func (n *Network) Heal(a, b Host) {
+	delete(n.partitioned, linkKey{a, b})
+	delete(n.partitioned, linkKey{b, a})
+}
+
+// Sent reports the number of messages handed to the network.
+func (n *Network) Sent() uint64 { return n.sent }
+
+// Dropped reports messages lost to DropRate or partitions.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Latency reports the base one-way latency between two hosts.
+func (n *Network) Latency(from, to Host) time.Duration {
+	if d, ok := n.links[linkKey{from, to}]; ok {
+		return d
+	}
+	if from == to {
+		return n.cfg.LoopbackLatency
+	}
+	return n.cfg.OneWayLatency
+}
+
+// Send delivers fn on the destination host after the emulated latency.
+// Messages may be dropped by partitions or the configured drop rate.
+func (n *Network) Send(from, to Host, fn func()) {
+	n.sent++
+	if n.partitioned[linkKey{from, to}] {
+		n.dropped++
+		return
+	}
+	if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+		n.dropped++
+		return
+	}
+	base := n.Latency(from, to)
+	d := time.Duration(n.rng.Jitter(float64(base), n.cfg.JitterRelStd))
+	n.sched.After(d, fn)
+}
+
+// RTT reports the emulated round-trip time between two hosts.
+func (n *Network) RTT(a, b Host) time.Duration {
+	return n.Latency(a, b) + n.Latency(b, a)
+}
+
+// String summarizes the network configuration.
+func (n *Network) String() string {
+	return fmt.Sprintf("netem(one-way=%v loopback=%v jitter=%.2f drop=%.3f)",
+		n.cfg.OneWayLatency, n.cfg.LoopbackLatency, n.cfg.JitterRelStd, n.cfg.DropRate)
+}

@@ -1,0 +1,134 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"ibcbench/internal/sim"
+)
+
+func newNet(cfg Config) (*sim.Scheduler, *Network) {
+	s := sim.NewScheduler()
+	return s, New(s, sim.NewRNG(1), cfg)
+}
+
+func TestSendLatency(t *testing.T) {
+	cfg := Config{OneWayLatency: 100 * time.Millisecond}
+	s, n := newNet(cfg)
+	var at time.Duration
+	n.Send("a", "b", func() { at = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if at != 100*time.Millisecond {
+		t.Fatalf("delivered at %v, want 100ms", at)
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	cfg := Config{OneWayLatency: 100 * time.Millisecond, LoopbackLatency: time.Millisecond}
+	s, n := newNet(cfg)
+	var at time.Duration
+	n.Send("a", "a", func() { at = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if at != time.Millisecond {
+		t.Fatalf("loopback delivered at %v, want 1ms", at)
+	}
+}
+
+func TestLinkOverride(t *testing.T) {
+	cfg := Config{OneWayLatency: 100 * time.Millisecond}
+	s, n := newNet(cfg)
+	n.SetLinkLatency("a", "b", 5*time.Millisecond)
+	var at time.Duration
+	n.Send("a", "b", func() { at = s.Now() })
+	var back time.Duration
+	n.Send("b", "a", func() { back = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if at != 5*time.Millisecond {
+		t.Fatalf("override delivered at %v", at)
+	}
+	if back != 100*time.Millisecond {
+		t.Fatalf("reverse direction %v, want default", back)
+	}
+	if rtt := n.RTT("a", "b"); rtt != 105*time.Millisecond {
+		t.Fatalf("rtt = %v", rtt)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	s, n := newNet(Config{OneWayLatency: time.Millisecond})
+	n.Partition("a", "b")
+	delivered := 0
+	n.Send("a", "b", func() { delivered++ })
+	n.Send("b", "a", func() { delivered++ })
+	n.Send("a", "c", func() { delivered++ })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want only a->c", delivered)
+	}
+	if n.Dropped() != 2 {
+		t.Fatalf("dropped = %d", n.Dropped())
+	}
+	n.Heal("a", "b")
+	n.Send("a", "b", func() { delivered++ })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if delivered != 2 {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	s, n := newNet(Config{OneWayLatency: time.Millisecond, DropRate: 0.5})
+	delivered := 0
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send("a", "b", func() { delivered++ })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if delivered < total/3 || delivered > 2*total/3 {
+		t.Fatalf("delivered %d of %d with 50%% drop", delivered, total)
+	}
+	if n.Sent() != total {
+		t.Fatalf("sent = %d", n.Sent())
+	}
+	if int(n.Dropped())+delivered != total {
+		t.Fatalf("dropped(%d)+delivered(%d) != total", n.Dropped(), delivered)
+	}
+}
+
+func TestJitterVariesDelivery(t *testing.T) {
+	cfg := Config{OneWayLatency: 100 * time.Millisecond, JitterRelStd: 0.1}
+	s, n := newNet(cfg)
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 50; i++ {
+		n.Send("a", "b", func() { seen[s.Now()] = true })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct delivery times", len(seen))
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	wan := DefaultWAN()
+	if rtt := 2 * wan.OneWayLatency; rtt != 200*time.Millisecond {
+		t.Fatalf("WAN RTT = %v, paper enforces 200ms", rtt)
+	}
+	lan := DefaultLAN()
+	if rtt := 2 * lan.OneWayLatency; rtt >= 500*time.Microsecond {
+		t.Fatalf("LAN RTT = %v, paper reports <0.5ms", rtt)
+	}
+}

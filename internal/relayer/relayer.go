@@ -1,0 +1,792 @@
+// Package relayer implements a Hermes-style IBC relayer (§II-C, Fig. 4):
+// a Supervisor subscribing to chain events, a Packet Command Worker
+// scheduling per-block batches, Packet Workers pulling transaction data
+// and building IBC messages, and Chain Endpoints submitting transactions.
+//
+// The model reproduces the paper's measured behaviours:
+//   - block-batch processing: every step runs for all of a block's
+//     messages before the next step starts (Fig. 12's staircase);
+//   - serial RPC data pulls dominating latency (69% of transfer time);
+//   - at most 100 messages per transaction;
+//   - per-account sequence tracking with "account sequence mismatch"
+//     recovery;
+//   - uncoordinated multi-relayer redundancy: "packet messages are
+//     redundant" failures when two relayers serve one channel (§IV-A);
+//   - WebSocket "failed to collect events" frames leaving packets stuck
+//     when the clear interval is zero (§V).
+package relayer
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"time"
+
+	"ibcbench/internal/abci"
+	"ibcbench/internal/app"
+	"ibcbench/internal/chain"
+	"ibcbench/internal/ibc"
+	"ibcbench/internal/metrics"
+	"ibcbench/internal/netem"
+	"ibcbench/internal/sim"
+	"ibcbench/internal/simconf"
+	"ibcbench/internal/tendermint/rpc"
+	"ibcbench/internal/tendermint/store"
+)
+
+// Config parameterizes one relayer instance.
+type Config struct {
+	// Name distinguishes relayer instances (account names derive from it).
+	Name string
+	// MaxMsgsPerTx is Hermes' batching limit (paper: 100).
+	MaxMsgsPerTx int
+	// BuildCostPerMsg is CPU time to assemble one outgoing message.
+	BuildCostPerMsg time.Duration
+	// ParseCostPerMsg is CPU time to extract one message from events.
+	ParseCostPerMsg time.Duration
+	// BatchOverhead is fixed scheduling cost per block of work.
+	BatchOverhead time.Duration
+	// ConfirmPoll is the confirmation polling interval.
+	ConfirmPoll time.Duration
+	// ConfirmAttempts bounds confirmation polling per transaction.
+	ConfirmAttempts int
+	// ClearIntervalBlocks re-scans for missed packets every N source
+	// blocks (0 disables clearing, the paper's stuck-packet setting).
+	ClearIntervalBlocks int64
+	// Tracker receives per-packet step events (may be nil).
+	Tracker *metrics.Tracker
+}
+
+// DefaultConfig returns the calibrated Hermes model.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:            name,
+		MaxMsgsPerTx:    simconf.RelayerMaxMsgsPerTx,
+		BuildCostPerMsg: simconf.RelayerBuildCostPerMsg,
+		ParseCostPerMsg: simconf.RelayerEventParseCostPerMsg,
+		BatchOverhead:   simconf.RelayerSchedulingOverheadPerBatch,
+		ConfirmPoll:     simconf.RelayerConfirmPollInterval,
+		ConfirmAttempts: 120,
+	}
+}
+
+// Stats aggregates the relayer's error and work counters.
+type Stats struct {
+	RecvDelivered     uint64
+	AcksDelivered     uint64
+	TimeoutsDelivered uint64
+	RedundantErrors   uint64
+	SeqMismatchErrors uint64
+	FramesLost        uint64
+	TxsSubmitted      uint64
+	TxsFailed         uint64
+}
+
+type pktID struct {
+	srcChain string
+	channel  string
+	seq      uint64
+}
+
+// endpoint is one Chain Endpoint (Fig. 4): the relayer's view of and
+// submission pipeline into one chain.
+type endpoint struct {
+	chain    *chain.Chain
+	rpc      *rpc.Server
+	clientID string // client on this chain tracking the counterparty
+	account  string
+
+	seq     uint64
+	seqInit bool
+
+	// clientHeight is the latest counterparty height this chain's client
+	// has been updated to (relayer-local view).
+	clientHeight int64
+
+	// height is the latest height observed via events.
+	height int64
+
+	// outbox holds built messages awaiting submission, each tagged with
+	// its packet and required proof height.
+	outbox []outMsg
+
+	// flushing guards the sequential submission loop.
+	flushing bool
+}
+
+type outMsg struct {
+	msg         app.Msg
+	packet      ibc.Packet
+	proofHeight int64
+	step        metrics.Step // broadcast step to record on acceptance
+	retried     bool
+}
+
+// Relayer is one Hermes instance relaying both directions of a channel.
+type Relayer struct {
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	cfg   Config
+	host  netem.Host
+
+	// cpu serializes the relayer's own processing (Hermes handles blocks
+	// sequentially).
+	cpu *sim.SerialResource
+
+	a, b *endpoint
+
+	// seenRecv / seenAck dedupe packets this relayer already handled.
+	seenRecv map[pktID]bool
+	seenAck  map[pktID]bool
+
+	// pendingRecv tracks packets extracted but not yet known delivered,
+	// for timeout detection.
+	pendingRecv map[pktID]ibc.Packet
+
+	// missed heights per source endpoint for the clearing loop.
+	missedA []int64
+	missedB []int64
+
+	// pullQueue serializes data pulls: Hermes issues its RPC queries one
+	// at a time and waits for each response (§IV-B).
+	pullQueue   []func(func())
+	pullRunning bool
+
+	stats   Stats
+	stopped bool
+}
+
+// New wires a relayer to a linked pair. Each relayer gets its own full
+// node on each chain (the paper's one-relayer-per-machine deployment)
+// and funded relayer accounts.
+func New(sched *sim.Scheduler, rng *sim.RNG, cfg Config, pair *chain.Pair) *Relayer {
+	if cfg.MaxMsgsPerTx <= 0 {
+		cfg.MaxMsgsPerTx = simconf.RelayerMaxMsgsPerTx
+	}
+	if cfg.ConfirmPoll <= 0 {
+		cfg.ConfirmPoll = simconf.RelayerConfirmPollInterval
+	}
+	if cfg.ConfirmAttempts <= 0 {
+		cfg.ConfirmAttempts = 120
+	}
+	r := &Relayer{
+		sched:       sched,
+		rng:         rng,
+		cfg:         cfg,
+		host:        netem.Host("relayer/" + cfg.Name),
+		cpu:         sim.NewSerialResource(sched),
+		seenRecv:    make(map[pktID]bool),
+		seenAck:     make(map[pktID]bool),
+		pendingRecv: make(map[pktID]ibc.Packet),
+	}
+	acctA := cfg.Name + "-on-" + pair.A.ID
+	acctB := cfg.Name + "-on-" + pair.B.ID
+	pair.A.App.CreateAccount(acctA, app.Coin{Denom: "stake", Amount: 1 << 50})
+	pair.B.App.CreateAccount(acctB, app.Coin{Denom: "stake", Amount: 1 << 50})
+	ncfg := rpc.DefaultConfig()
+	// Hermes tolerates long query latencies against its local full node;
+	// the serial query queue regularly exceeds the default client timeout.
+	ncfg.ClientTimeout = 2 * time.Minute
+	r.a = &endpoint{chain: pair.A, rpc: pair.A.AddRPCNode(ncfg), clientID: pair.ClientOnA, account: acctA}
+	r.b = &endpoint{chain: pair.B, rpc: pair.B.AddRPCNode(ncfg), clientID: pair.ClientOnB, account: acctB}
+	return r
+}
+
+// Host reports the relayer's network address (for workload submission).
+func (r *Relayer) Host() netem.Host { return r.host }
+
+// Stats returns a copy of the error/work counters.
+func (r *Relayer) Stats() Stats { return r.stats }
+
+// EndpointRPC returns the relayer's full node on the given chain, used
+// by the workload connector to submit transfers "via the relayer CLI".
+func (r *Relayer) EndpointRPC(chainID string) *rpc.Server {
+	if r.a.chain.ID == chainID {
+		return r.a.rpc
+	}
+	return r.b.rpc
+}
+
+// Start subscribes to both chains (the Supervisor of Fig. 4).
+func (r *Relayer) Start() {
+	r.a.rpc.Subscribe(r.host, func(f *rpc.EventFrame) { r.onFrame(r.a, r.b, f) })
+	r.b.rpc.Subscribe(r.host, func(f *rpc.EventFrame) { r.onFrame(r.b, r.a, f) })
+}
+
+// Stop makes the relayer ignore all future events (crash injection).
+func (r *Relayer) Stop() { r.stopped = true }
+
+// Resume restarts a stopped relayer.
+func (r *Relayer) Resume() { r.stopped = false }
+
+// onFrame is the Supervisor receiving one block's events from src.
+func (r *Relayer) onFrame(src, dst *endpoint, frame *rpc.EventFrame) {
+	if r.stopped {
+		return
+	}
+	if frame.Height > src.height {
+		src.height = frame.Height
+	}
+	if frame.Err != nil {
+		// "Failed to collect events": the block's packets are invisible.
+		r.stats.FramesLost++
+		if r.cfg.ClearIntervalBlocks > 0 {
+			if src == r.a {
+				r.missedA = append(r.missedA, frame.Height)
+			} else {
+				r.missedB = append(r.missedB, frame.Height)
+			}
+			r.scheduleClear(src, dst)
+		}
+		r.checkTimeouts(src, dst)
+		r.tryFlush(src)
+		r.tryFlush(dst)
+		return
+	}
+	r.processBlockTxs(src, dst, frame.Height, frame.BlockTime, frame.Txs)
+	// New destination-side heights unblock proof-height waits and may
+	// expire pending packets.
+	r.checkTimeouts(src, dst)
+	r.tryFlush(src)
+	r.tryFlush(dst)
+}
+
+// processBlockTxs is the Packet Command Worker handling one block batch.
+func (r *Relayer) processBlockTxs(src, dst *endpoint, height int64, blockTime time.Duration, txs []*store.TxInfo) {
+	// Message extraction: identify txs carrying work for our channel.
+	var (
+		recvTxs  []*store.TxInfo
+		ackTxs   []*store.TxInfo
+		msgCount int
+	)
+	for _, info := range txs {
+		t, ok := info.Tx.(*app.Tx)
+		if !ok || !info.Result.IsOK() {
+			continue
+		}
+		msgCount += len(t.Msgs)
+		hasSend, hasAckWrite := classify(info.Result.Events)
+		if hasSend {
+			recvTxs = append(recvTxs, info)
+		}
+		if hasAckWrite {
+			ackTxs = append(ackTxs, info)
+		}
+	}
+	if len(recvTxs) == 0 && len(ackTxs) == 0 {
+		return
+	}
+	parse := r.cfg.BatchOverhead + time.Duration(msgCount)*r.cfg.ParseCostPerMsg
+	r.cpu.Submit(parse, func() {
+		now := r.sched.Now()
+		// Record extraction + confirmation for every packet seen.
+		for _, info := range recvTxs {
+			for _, p := range packetsFromEvents(info.Result.Events, "send_packet") {
+				key := r.keyOf(src, p)
+				r.track(key, metrics.StepTransferExtraction, now)
+				r.track(key, metrics.StepTransferConfirmation, now)
+			}
+		}
+		for _, info := range ackTxs {
+			for _, p := range packetsFromEvents(info.Result.Events, "write_acknowledgement") {
+				key := r.keyOf(dst, p) // packet's source is the counterparty
+				r.track(key, metrics.StepRecvExtraction, now)
+				// The event subscription confirms commitment too; the
+				// polling path below is a fallback (first write wins).
+				r.track(key, metrics.StepRecvConfirmation, now)
+			}
+		}
+		// Data pulls: one heavy query per tx, serial on the source RPC.
+		for _, info := range recvTxs {
+			r.pullTxData(src, 0, info, func(got *store.TxInfo) {
+				r.buildRecvBatch(src, dst, height, got)
+			})
+		}
+		for _, info := range ackTxs {
+			r.pullTxData(src, 0, info, func(got *store.TxInfo) {
+				r.buildAckBatch(src, dst, height, got)
+			})
+		}
+	})
+}
+
+// pullTxData enqueues a heavy data-pull query on the relayer's serial
+// pull queue (Hermes waits for each query response before issuing the
+// next — §IV-B), retrying on timeouts.
+func (r *Relayer) pullTxData(src *endpoint, attempt int, info *store.TxInfo, fn func(*store.TxInfo)) {
+	r.enqueuePull(func(done func()) {
+		r.doPull(src, attempt, info, fn, done)
+	})
+}
+
+func (r *Relayer) enqueuePull(job func(func())) {
+	r.pullQueue = append(r.pullQueue, job)
+	r.runPulls()
+}
+
+func (r *Relayer) runPulls() {
+	if r.pullRunning || len(r.pullQueue) == 0 {
+		return
+	}
+	r.pullRunning = true
+	job := r.pullQueue[0]
+	r.pullQueue = r.pullQueue[1:]
+	job(func() {
+		r.pullRunning = false
+		r.runPulls()
+	})
+}
+
+func (r *Relayer) doPull(src *endpoint, attempt int, info *store.TxInfo, fn func(*store.TxInfo), done func()) {
+	if r.stopped || attempt > 10 {
+		done()
+		return
+	}
+	src.rpc.QueryTxData(r.host, info.Tx.Hash(), func(got *store.TxInfo, err error) {
+		if r.stopped {
+			done()
+			return
+		}
+		if err != nil {
+			r.sched.After(r.cfg.ConfirmPoll, func() { r.doPull(src, attempt+1, info, fn, done) })
+			return
+		}
+		fn(got)
+		done()
+	})
+}
+
+// buildRecvBatch turns one source tx's send_packet events into
+// MsgRecvPackets destined for dst.
+func (r *Relayer) buildRecvBatch(src, dst *endpoint, height int64, info *store.TxInfo) {
+	packets := packetsFromEvents(info.Result.Events, "send_packet")
+	fresh := packets[:0]
+	for _, p := range packets {
+		id := pktID{src.chain.ID, p.SourceChannel, p.Sequence}
+		if r.seenRecv[id] {
+			continue
+		}
+		r.seenRecv[id] = true
+		r.pendingRecv[id] = p
+		fresh = append(fresh, p)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	now := r.sched.Now()
+	for _, p := range fresh {
+		r.track(r.keyOf(src, p), metrics.StepTransferDataPull, now)
+	}
+	build := time.Duration(len(fresh)) * r.cfg.BuildCostPerMsg
+	r.cpu.Submit(build, func() {
+		done := r.sched.Now()
+		proofHeight := info.Height + 1
+		for _, p := range fresh {
+			r.track(r.keyOf(src, p), metrics.StepRecvBuild, done)
+			dst.outbox = append(dst.outbox, outMsg{
+				msg: ibc.MsgRecvPacket{
+					Packet:          p,
+					ProofCommitment: r.proveOn(src, proofHeight, ibc.PacketCommitmentKey(p.SourcePort, p.SourceChannel, p.Sequence), true),
+					ProofHeight:     proofHeight,
+					Relayer:         dst.account,
+				},
+				packet:      p,
+				proofHeight: proofHeight,
+				step:        metrics.StepRecvBroadcast,
+			})
+		}
+		r.tryFlush(dst)
+	})
+}
+
+// buildAckBatch turns write_acknowledgement events on src (the packet
+// destination) into MsgAcknowledgements for dst (the packet source).
+func (r *Relayer) buildAckBatch(src, dst *endpoint, height int64, info *store.TxInfo) {
+	packets := packetsFromEvents(info.Result.Events, "write_acknowledgement")
+	acks := acksFromEvents(info.Result.Events)
+	fresh := packets[:0]
+	for _, p := range packets {
+		id := pktID{dst.chain.ID, p.SourceChannel, p.Sequence}
+		if r.seenAck[id] {
+			continue
+		}
+		r.seenAck[id] = true
+		delete(r.pendingRecv, id)
+		fresh = append(fresh, p)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	now := r.sched.Now()
+	for _, p := range fresh {
+		r.track(r.keyOf(dst, p), metrics.StepRecvDataPull, now)
+	}
+	build := time.Duration(len(fresh)) * r.cfg.BuildCostPerMsg
+	r.cpu.Submit(build, func() {
+		done := r.sched.Now()
+		proofHeight := info.Height + 1
+		for _, p := range fresh {
+			key := r.keyOf(dst, p)
+			r.track(key, metrics.StepAckBuild, done)
+			ack := acks[p.Sequence]
+			if ack == nil {
+				ack = ibc.Acknowledgement{Result: []byte("AQ==")}.Bytes()
+			}
+			dst.outbox = append(dst.outbox, outMsg{
+				msg: ibc.MsgAcknowledgement{
+					Packet:      p,
+					Ack:         ack,
+					ProofAcked:  r.proveOn(src, proofHeight, ibc.PacketAckKey(p.DestPort, p.DestChannel, p.Sequence), true),
+					ProofHeight: proofHeight,
+					Relayer:     dst.account,
+				},
+				packet:      p,
+				proofHeight: proofHeight,
+				step:        metrics.StepAckBroadcast,
+			})
+		}
+		r.tryFlush(dst)
+	})
+}
+
+// checkTimeouts builds MsgTimeouts on the packet source (dst here is the
+// counterparty of src) for pending packets whose timeout elapsed on src.
+func (r *Relayer) checkTimeouts(dstChain, srcChain *endpoint) {
+	for id, p := range r.pendingRecv {
+		if id.srcChain != srcChain.chain.ID {
+			continue
+		}
+		expired := (p.TimeoutHeight > 0 && dstChain.height >= p.TimeoutHeight)
+		if !expired {
+			continue
+		}
+		delete(r.pendingRecv, id)
+		proofHeight := dstChain.height + 1
+		srcChain.outbox = append(srcChain.outbox, outMsg{
+			msg: ibc.MsgTimeout{
+				Packet:          p,
+				ProofUnreceived: r.proveOn(dstChain, proofHeight, ibc.PacketReceiptKey(p.DestPort, p.DestChannel, p.Sequence), false),
+				ProofHeight:     proofHeight,
+				Relayer:         srcChain.account,
+			},
+			packet:      p,
+			proofHeight: proofHeight,
+			step:        metrics.StepAckBroadcast, // timeout completes the packet on source
+		})
+	}
+}
+
+// proveOn fetches a proof from the counterparty chain's state (the RPC
+// cost of proof retrieval is folded into the calibrated data-pull cost).
+func (r *Relayer) proveOn(src *endpoint, proofHeight int64, key string, membership bool) *ibc.Proof {
+	st := src.chain.App.State()
+	if !st.FullProofs() {
+		return nil
+	}
+	tree, err := st.TreeAt(proofHeight - 1)
+	if err != nil {
+		return nil
+	}
+	if membership {
+		_, mp, ok := tree.ProveMembership([]byte(key))
+		if !ok {
+			return nil
+		}
+		return &ibc.Proof{Membership: mp}
+	}
+	nm, ok := tree.ProveNonMembership([]byte(key))
+	if !ok {
+		return nil
+	}
+	return &ibc.Proof{NonMembership: nm}
+}
+
+// tryFlush starts the submission loop for an endpoint's outbox.
+func (r *Relayer) tryFlush(dst *endpoint) {
+	if dst.flushing || len(dst.outbox) == 0 || r.stopped {
+		return
+	}
+	dst.flushing = true
+	r.flushNext(dst)
+}
+
+// counterpartOf returns the other endpoint.
+func (r *Relayer) counterpartOf(e *endpoint) *endpoint {
+	if e == r.a {
+		return r.b
+	}
+	return r.a
+}
+
+// flushNext submits one batch (≤100 msgs) to dst, then continues.
+func (r *Relayer) flushNext(dst *endpoint) {
+	if r.stopped || len(dst.outbox) == 0 {
+		dst.flushing = false
+		return
+	}
+	src := r.counterpartOf(dst)
+
+	// Only messages whose proof height is available on the counterparty
+	// can be submitted; the rest wait for the next block.
+	n := 0
+	var maxProof int64
+	for n < len(dst.outbox) && n < r.cfg.MaxMsgsPerTx {
+		m := dst.outbox[n]
+		if m.proofHeight > src.chain.Store.Height() {
+			break
+		}
+		if m.proofHeight > maxProof {
+			maxProof = m.proofHeight
+		}
+		n++
+	}
+	if n == 0 {
+		dst.flushing = false
+		return
+	}
+	batch := append([]outMsg(nil), dst.outbox[:n]...)
+	dst.outbox = append(dst.outbox[:0], dst.outbox[n:]...)
+
+	msgs := make([]app.Msg, 0, n+1)
+	// Prepend a client update when the proofs outrun the client.
+	if maxProof > dst.clientHeight {
+		if upd := r.clientUpdate(src, dst, maxProof); upd != nil {
+			msgs = append(msgs, *upd)
+			dst.clientHeight = maxProof
+		}
+	}
+	for _, m := range batch {
+		msgs = append(msgs, m.msg)
+	}
+	r.submitTx(dst, msgs, batch, 0)
+}
+
+// clientUpdate builds a MsgUpdateClient for dst's client of src at the
+// given height, reading the signed header from src's store.
+func (r *Relayer) clientUpdate(src, dst *endpoint, height int64) *app.Msg {
+	blk, err := src.chain.Store.Block(height)
+	if err != nil {
+		return nil
+	}
+	var m app.Msg = ibc.MsgUpdateClient{
+		ClientID: dst.clientID,
+		Bundle:   ibc.HeaderBundle{Header: blk.Block.Header, Commit: blk.Commit},
+	}
+	return &m
+}
+
+// submitTx broadcasts one relayer transaction, handling sequence
+// initialization, mismatch recovery and confirmation polling.
+func (r *Relayer) submitTx(dst *endpoint, msgs []app.Msg, batch []outMsg, attempt int) {
+	if r.stopped {
+		dst.flushing = false
+		return
+	}
+	if !dst.seqInit {
+		dst.rpc.QueryAccountSequence(r.host, dst.account, func(seq uint64, err error) {
+			if err != nil {
+				r.sched.After(r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, attempt) })
+				return
+			}
+			dst.seq = seq
+			dst.seqInit = true
+			r.submitTx(dst, msgs, batch, attempt)
+		})
+		return
+	}
+	tx := app.NewTx(dst.account, dst.seq, uint64(r.rng.Int63n(1<<62)), msgs)
+	r.stats.TxsSubmitted++
+	dst.rpc.BroadcastTxSync(r.host, tx, func(err error) {
+		switch {
+		case err == nil:
+			dst.seq++
+			now := r.sched.Now()
+			for _, m := range batch {
+				r.track(r.keyOfMsg(dst, m), m.step, now)
+			}
+			r.confirmTx(dst, tx, batch, 0)
+			// Pipeline: submit the next batch immediately.
+			r.flushNext(dst)
+		case errors.Is(err, app.ErrSequenceMismatch):
+			r.stats.SeqMismatchErrors++
+			dst.seqInit = false
+			if attempt < 5 {
+				r.sched.After(r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, attempt+1) })
+			} else {
+				r.stats.TxsFailed++
+				r.flushNext(dst)
+			}
+		default:
+			// Mempool full or timeout: back off and retry.
+			if attempt < 5 {
+				r.sched.After(5*r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, attempt+1) })
+			} else {
+				r.stats.TxsFailed++
+				r.flushNext(dst)
+			}
+		}
+	})
+}
+
+// confirmTx polls for a submitted transaction's commitment, recording
+// confirmation steps and handling redundant-packet failures.
+func (r *Relayer) confirmTx(dst *endpoint, tx *app.Tx, batch []outMsg, attempt int) {
+	if attempt >= r.cfg.ConfirmAttempts || r.stopped {
+		r.stats.TxsFailed++
+		return
+	}
+	r.sched.After(r.cfg.ConfirmPoll, func() {
+		dst.rpc.QueryTx(r.host, tx.Hash(), func(info *store.TxInfo, err error) {
+			if err != nil {
+				r.confirmTx(dst, tx, batch, attempt+1)
+				return
+			}
+			now := r.sched.Now()
+			if info.Result.IsOK() {
+				for _, m := range batch {
+					key := r.keyOfMsg(dst, m)
+					switch m.step {
+					case metrics.StepRecvBroadcast:
+						r.stats.RecvDelivered++
+						r.track(key, metrics.StepRecvConfirmation, now)
+						id := pktID{r.counterpartOf(dst).chain.ID, m.packet.SourceChannel, m.packet.Sequence}
+						delete(r.pendingRecv, id)
+					case metrics.StepAckBroadcast:
+						if _, isTimeout := m.msg.(ibc.MsgTimeout); isTimeout {
+							r.stats.TimeoutsDelivered++
+						} else {
+							r.stats.AcksDelivered++
+						}
+						r.track(key, metrics.StepAckExtraction, now)
+						r.track(key, metrics.StepAckConfirmation, now)
+					}
+				}
+				return
+			}
+			// Failed transaction: with two relayers this is typically
+			// "packet messages are redundant".
+			r.stats.TxsFailed++
+			if containsRedundant(info.Result.Log) {
+				r.stats.RedundantErrors++
+			}
+			// Retry non-retried messages once: a partially redundant
+			// batch reverts its legitimate messages too.
+			var retry []outMsg
+			for _, m := range batch {
+				if !m.retried {
+					m.retried = true
+					retry = append(retry, m)
+				}
+			}
+			if len(retry) > 0 {
+				dst.outbox = append(dst.outbox, retry...)
+				r.tryFlush(dst)
+			}
+		})
+	})
+}
+
+// scheduleClear arranges a packet-clear pass over missed heights.
+func (r *Relayer) scheduleClear(src, dst *endpoint) {
+	interval := time.Duration(r.cfg.ClearIntervalBlocks) * simconf.MinBlockInterval
+	r.sched.After(interval, func() {
+		if r.stopped {
+			return
+		}
+		missed := r.missedA
+		if src == r.b {
+			missed = r.missedB
+		}
+		if len(missed) == 0 {
+			return
+		}
+		if src == r.a {
+			r.missedA = nil
+		} else {
+			r.missedB = nil
+		}
+		for _, h := range missed {
+			h := h
+			src.rpc.QueryBlockTxs(r.host, h, func(infos []*store.TxInfo, err error) {
+				if err != nil || r.stopped {
+					return
+				}
+				blk, berr := src.chain.Store.Block(h)
+				if berr != nil {
+					return
+				}
+				r.processBlockTxs(src, dst, h, blk.Block.Header.Time, infos)
+				r.tryFlush(dst)
+			})
+		}
+	})
+}
+
+// --- helpers -----------------------------------------------------------------
+
+func (r *Relayer) track(key metrics.PacketKey, step metrics.Step, at time.Duration) {
+	if r.cfg.Tracker != nil {
+		r.cfg.Tracker.Record(key, step, at)
+	}
+}
+
+// keyOf identifies a packet originating on src.
+func (r *Relayer) keyOf(src *endpoint, p ibc.Packet) metrics.PacketKey {
+	return metrics.PacketKey{SrcChain: src.chain.ID, Channel: p.SourceChannel, Sequence: p.Sequence}
+}
+
+// keyOfMsg identifies the packet of an outgoing message submitted to dst.
+func (r *Relayer) keyOfMsg(dst *endpoint, m outMsg) metrics.PacketKey {
+	switch m.msg.(type) {
+	case ibc.MsgRecvPacket:
+		return r.keyOf(r.counterpartOf(dst), m.packet)
+	default: // acks and timeouts land on the packet's source chain
+		return r.keyOf(dst, m.packet)
+	}
+}
+
+func classify(events []abci.Event) (hasSend, hasAckWrite bool) {
+	for _, ev := range events {
+		switch ev.Type {
+		case "send_packet":
+			hasSend = true
+		case "write_acknowledgement":
+			hasAckWrite = true
+		}
+	}
+	return
+}
+
+// packetsFromEvents decodes packets from events of one type.
+func packetsFromEvents(events []abci.Event, typ string) []ibc.Packet {
+	var out []ibc.Packet
+	for _, ev := range events {
+		if ev.Type != typ {
+			continue
+		}
+		var p ibc.Packet
+		if err := json.Unmarshal([]byte(ev.Attributes["packet"]), &p); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// acksFromEvents maps sequence -> raw ack bytes.
+func acksFromEvents(events []abci.Event) map[uint64][]byte {
+	out := make(map[uint64][]byte)
+	for _, ev := range events {
+		if ev.Type != "write_acknowledgement" {
+			continue
+		}
+		var p ibc.Packet
+		if err := json.Unmarshal([]byte(ev.Attributes["packet"]), &p); err == nil {
+			out[p.Sequence] = []byte(ev.Attributes["ack"])
+		}
+	}
+	return out
+}
+
+func containsRedundant(log string) bool {
+	return strings.Contains(log, "redundant")
+}

@@ -1,0 +1,194 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All components of the benchmark (blockchains, relayers, the network)
+// execute on a shared virtual clock owned by a Scheduler. Virtual seconds
+// elapse in real microseconds, which lets the experiment drivers replay
+// hours of the paper's wall-clock experiments deterministically and fast.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrStopped is returned by Run when the scheduler was stopped explicitly
+// before the event queue drained.
+var ErrStopped = errors.New("sim: scheduler stopped")
+
+// Event is a callback scheduled to fire at a virtual time.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+
+	// index is maintained by the heap implementation.
+	index int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the virtual clock and the pending event queue.
+//
+// Scheduler is not safe for concurrent use: the simulation is
+// single-threaded by design, which is what makes runs deterministic.
+type Scheduler struct {
+	queue   eventQueue
+	now     time.Duration
+	seq     uint64
+	stopped bool
+
+	// processed counts events executed so far, for diagnostics and
+	// runaway-simulation protection.
+	processed uint64
+
+	// MaxEvents aborts Run once this many events have fired (0 = no cap).
+	MaxEvents uint64
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Processed reports how many events have executed.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Len reports the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// At schedules fn to run at virtual time t. Times in the past are clamped
+// to the current time, so the event runs on the next dispatch.
+func (s *Scheduler) At(t time.Duration, fn func()) {
+	if fn == nil {
+		return
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delta after the current virtual time.
+func (s *Scheduler) After(delta time.Duration, fn func()) {
+	if delta < 0 {
+		delta = 0
+	}
+	s.At(s.now+delta, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// step executes the earliest pending event, advancing the clock.
+func (s *Scheduler) step() {
+	ev, ok := heap.Pop(&s.queue).(*event)
+	if !ok {
+		return
+	}
+	s.now = ev.at
+	s.processed++
+	ev.fn()
+}
+
+// Run dispatches events until the queue is empty or Stop is called.
+// It returns ErrStopped if stopped early, and nil when drained.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		if s.MaxEvents > 0 && s.processed >= s.MaxEvents {
+			return ErrStopped
+		}
+		s.step()
+	}
+	return nil
+}
+
+// RunUntil dispatches events with timestamps at or before deadline.
+// The clock finishes at the deadline (or at the last event past it).
+func (s *Scheduler) RunUntil(deadline time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		if s.stopped {
+			return ErrStopped
+		}
+		if s.MaxEvents > 0 && s.processed >= s.MaxEvents {
+			return ErrStopped
+		}
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}
+
+// Ticker invokes fn every interval of virtual time until cancel is called.
+type Ticker struct {
+	cancelled bool
+}
+
+// Cancel stops future ticks. Safe to call multiple times.
+func (t *Ticker) Cancel() { t.cancelled = true }
+
+// Tick schedules fn to run every interval starting one interval from now.
+// fn receives the ticker so callbacks can cancel themselves.
+func (s *Scheduler) Tick(interval time.Duration, fn func(*Ticker)) *Ticker {
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	t := &Ticker{}
+	var loop func()
+	loop = func() {
+		if t.cancelled {
+			return
+		}
+		fn(t)
+		if t.cancelled {
+			return
+		}
+		s.After(interval, loop)
+	}
+	s.After(interval, loop)
+	return t
+}

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.At(1*time.Second, func() { got = append(got, 1) })
+	s.At(2*time.Second, func() { got = append(got, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("now = %v, want 3s", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameTime(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerPastEventClamped(t *testing.T) {
+	s := NewScheduler()
+	var fired bool
+	s.At(5*time.Second, func() {
+		s.At(time.Second, func() { fired = true }) // in the past
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock moved backwards: %v", s.Now())
+	}
+}
+
+func TestSchedulerAfterNested(t *testing.T) {
+	s := NewScheduler()
+	var at []time.Duration
+	s.After(time.Second, func() {
+		at = append(at, s.Now())
+		s.After(2*time.Second, func() { at = append(at, s.Now()) })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if at[0] != time.Second || at[1] != 3*time.Second {
+		t.Fatalf("times = %v", at)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		s.At(time.Duration(i)*time.Second, func() {
+			n++
+			if n == 2 {
+				s.Stop()
+			}
+		})
+	}
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if n != 2 {
+		t.Fatalf("executed %d events, want 2", n)
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var got []time.Duration
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Second
+		s.At(d, func() { got = append(got, d) })
+	}
+	if err := s.RunUntil(3 * time.Second); err != nil {
+		t.Fatalf("run until: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ran %d events, want 3", len(got))
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("now = %v", s.Now())
+	}
+	// Resume to drain the rest.
+	if err := s.Run(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events after resume, want 5", len(got))
+	}
+}
+
+func TestSchedulerRunUntilAdvancesIdleClock(t *testing.T) {
+	s := NewScheduler()
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("run until: %v", err)
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("now = %v, want 10s", s.Now())
+	}
+}
+
+func TestSchedulerMaxEvents(t *testing.T) {
+	s := NewScheduler()
+	s.MaxEvents = 100
+	var loop func()
+	loop = func() { s.After(time.Millisecond, loop) }
+	s.After(time.Millisecond, loop)
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if s.Processed() != 100 {
+		t.Fatalf("processed = %d, want 100", s.Processed())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := NewScheduler()
+	var ticks []time.Duration
+	s.Tick(time.Second, func(tk *Ticker) {
+		ticks = append(ticks, s.Now())
+		if len(ticks) == 3 {
+			tk.Cancel()
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if ticks[i] != want {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want)
+		}
+	}
+}
+
+func TestTickerCancelBeforeFirstTick(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tk := s.Tick(time.Second, func(*Ticker) { fired = true })
+	tk.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled ticker fired")
+	}
+}
+
+func TestSerialResourceSequencing(t *testing.T) {
+	s := NewScheduler()
+	r := NewSerialResource(s)
+	var finish []time.Duration
+	// Three requests submitted at t=0 with 1s service each must finish at
+	// 1s, 2s, 3s: the resource processes them one at a time.
+	for i := 0; i < 3; i++ {
+		r.Submit(time.Second, func() { finish = append(finish, s.Now()) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if r.BusyTime() != 3*time.Second {
+		t.Fatalf("busy = %v", r.BusyTime())
+	}
+}
+
+func TestSerialResourceIdleGap(t *testing.T) {
+	s := NewScheduler()
+	r := NewSerialResource(s)
+	var finish []time.Duration
+	r.Submit(time.Second, func() { finish = append(finish, s.Now()) })
+	// Second request arrives after the first completed; no queueing.
+	s.At(5*time.Second, func() {
+		r.Submit(time.Second, func() { finish = append(finish, s.Now()) })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if finish[0] != time.Second || finish[1] != 6*time.Second {
+		t.Fatalf("finish = %v", finish)
+	}
+}
+
+func TestSerialResourceBacklog(t *testing.T) {
+	s := NewScheduler()
+	r := NewSerialResource(s)
+	r.Submit(4*time.Second, nil)
+	if got := r.Backlog(); got != 4*time.Second {
+		t.Fatalf("backlog = %v, want 4s", got)
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r.Backlog() != 0 || r.Pending() != 0 {
+		t.Fatalf("backlog = %v pending = %d after drain", r.Backlog(), r.Pending())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := g.Jitter(100, 0.1)
+		if v < 0 {
+			t.Fatalf("jitter produced negative value %v", v)
+		}
+		if v < 100*(1-0.1*4)-1e-9 || v > 100*(1+0.1*4)+1e-9 {
+			t.Fatalf("jitter %v outside 4-sigma bounds", v)
+		}
+	}
+	if got := g.Jitter(0, 0.5); got != 0 {
+		t.Fatalf("jitter(0) = %v", got)
+	}
+	if got := g.Jitter(100, 0); got != 100 {
+		t.Fatalf("jitter relStd=0 = %v", got)
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// insertion order.
+func TestSchedulerOrderingProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		s := NewScheduler()
+		var fired []time.Duration
+		for _, off := range offsets {
+			d := time.Duration(off) * time.Millisecond
+			s.At(d, func() { fired = append(fired, s.Now()) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a serial resource's completion times are spaced by at least
+// the service times, and total busy time equals the sum of services.
+func TestSerialResourceProperty(t *testing.T) {
+	prop := func(services []uint16) bool {
+		s := NewScheduler()
+		r := NewSerialResource(s)
+		var total time.Duration
+		var finishes []time.Duration
+		for _, sv := range services {
+			d := time.Duration(sv) * time.Millisecond
+			total += d
+			r.Submit(d, func() { finishes = append(finishes, s.Now()) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if r.BusyTime() != total {
+			return false
+		}
+		// All submitted at t=0, so the last completion equals total.
+		if len(finishes) > 0 && finishes[len(finishes)-1] != total {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

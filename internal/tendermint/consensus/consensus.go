@@ -1,0 +1,564 @@
+// Package consensus implements the Tendermint BFT consensus engine
+// described in §II-A of the paper: rounds with an elected proposer, two
+// voting stages (pre-vote and pre-commit), 2/3+ quorums, tolerance of up
+// to one third arbitrary validators, and a minimum block interval.
+//
+// Validators are actors exchanging signed proposal and vote messages over
+// the emulated network; a designated primary full node's commit defines
+// when a block (and its RPC-visible data) becomes available. Application
+// execution happens once against a canonical state machine, with a
+// gas-proportional virtual execution time — this is what makes "blocks
+// containing large amounts of transactions increase the block interval
+// beyond 5 seconds" (§III-D).
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"ibcbench/internal/abci"
+	"ibcbench/internal/netem"
+	"ibcbench/internal/sim"
+	"ibcbench/internal/simconf"
+	"ibcbench/internal/tendermint/mempool"
+	"ibcbench/internal/tendermint/store"
+	"ibcbench/internal/tendermint/types"
+	"ibcbench/internal/valkey"
+)
+
+// Config parameterizes one chain's consensus engine.
+type Config struct {
+	ChainID string
+
+	// Validators is the validator-set size (paper: 5 per chain).
+	Validators int
+
+	// MinBlockInterval floors the time between consecutive proposals.
+	MinBlockInterval time.Duration
+	// TimeoutPropose bounds the wait for a proposal each round.
+	TimeoutPropose time.Duration
+	// TimeoutRoundStep bounds the prevote/precommit waits.
+	TimeoutRoundStep time.Duration
+
+	// MaxBlockBytes and MaxBlockGas bound reaped blocks (0 = unlimited).
+	MaxBlockBytes int
+	MaxBlockGas   uint64
+
+	// ExecNanosPerGas converts executed gas into virtual execution time.
+	ExecNanosPerGas int64
+	// ProposalBytesPerSecond models block gossip bandwidth.
+	ProposalBytesPerSecond int64
+}
+
+// DefaultConfig mirrors the paper's deployment (§III-C, §III-D).
+func DefaultConfig(chainID string) Config {
+	return Config{
+		ChainID:                chainID,
+		Validators:             simconf.DefaultValidators,
+		MinBlockInterval:       simconf.MinBlockInterval,
+		TimeoutPropose:         simconf.TimeoutPropose,
+		TimeoutRoundStep:       simconf.TimeoutRoundStep,
+		ExecNanosPerGas:        simconf.ExecNanosPerGas,
+		ProposalBytesPerSecond: simconf.ProposalBytesPerSecond,
+	}
+}
+
+// step is a node's position within a consensus round.
+type step byte
+
+const (
+	stepPropose step = iota + 1
+	stepPrevote
+	stepPrecommit
+	stepCommitted
+)
+
+// proposalMsg carries a proposed block between validators.
+type proposalMsg struct {
+	height int64
+	round  int32
+	block  *types.Block
+}
+
+// node is one validator actor.
+type node struct {
+	index int
+	host  netem.Host
+	key   *valkey.PrivKey
+	addr  valkey.Address
+	down  bool
+
+	height int64
+	round  int32
+	step   step
+
+	proposals  map[int32]*types.Block
+	prevotes   map[int32]map[valkey.Address]*types.Vote
+	precommits map[int32]map[valkey.Address]*types.Vote
+
+	prevoted     map[int32]bool
+	precommitted map[int32]bool
+}
+
+func (n *node) votes(m map[int32]map[valkey.Address]*types.Vote, round int32) map[valkey.Address]*types.Vote {
+	vs, ok := m[round]
+	if !ok {
+		vs = make(map[valkey.Address]*types.Vote)
+		m[round] = vs
+	}
+	return vs
+}
+
+// Engine drives consensus for one chain.
+type Engine struct {
+	sched *sim.Scheduler
+	net   *netem.Network
+	cfg   Config
+
+	app    abci.Application
+	pool   *mempool.Pool
+	stor   *store.Store
+	valset *types.ValidatorSet
+	nodes  []*node
+
+	// primary is the full node serving RPC; its commit defines block
+	// availability to clients.
+	primary int
+
+	lastBlockID      types.BlockID
+	lastCommit       *types.Commit
+	lastAppHash      types.Hash
+	lastProposalTime time.Duration
+	committedHeight  int64
+
+	emptyBlocks uint64
+	totalRounds uint64
+
+	onCommit []func(*store.CommittedBlock)
+
+	started bool
+	halted  bool
+}
+
+// New assembles an engine. The mempool and store are owned by the caller
+// so that the RPC layer can share them.
+func New(sched *sim.Scheduler, net *netem.Network, cfg Config, app abci.Application, pool *mempool.Pool, stor *store.Store) *Engine {
+	if cfg.Validators <= 0 {
+		cfg.Validators = simconf.DefaultValidators
+	}
+	e := &Engine{
+		sched: sched,
+		net:   net,
+		cfg:   cfg,
+		app:   app,
+		pool:  pool,
+		stor:  stor,
+	}
+	vals := make([]*types.Validator, cfg.Validators)
+	for i := 0; i < cfg.Validators; i++ {
+		key := valkey.Derive(cfg.ChainID, i)
+		vals[i] = &types.Validator{
+			Address:     key.Pub().Address(),
+			PubKey:      key.Pub(),
+			VotingPower: 10,
+		}
+		e.nodes = append(e.nodes, &node{
+			index:        i,
+			host:         netem.Host(fmt.Sprintf("%s/val%d", cfg.ChainID, i)),
+			key:          key,
+			addr:         key.Pub().Address(),
+			proposals:    make(map[int32]*types.Block),
+			prevotes:     make(map[int32]map[valkey.Address]*types.Vote),
+			precommits:   make(map[int32]map[valkey.Address]*types.Vote),
+			prevoted:     make(map[int32]bool),
+			precommitted: make(map[int32]bool),
+		})
+	}
+	e.valset = types.NewValidatorSet(vals)
+	return e
+}
+
+// ValidatorSet exposes the chain's validator set (for light clients).
+func (e *Engine) ValidatorSet() *types.ValidatorSet { return e.valset }
+
+// PrimaryHost is the network host of the RPC-serving full node.
+func (e *Engine) PrimaryHost() netem.Host { return e.nodes[e.primary].host }
+
+// Store exposes the canonical block store.
+func (e *Engine) Store() *store.Store { return e.stor }
+
+// EmptyBlocks reports how many committed blocks carried no transactions.
+func (e *Engine) EmptyBlocks() uint64 { return e.emptyBlocks }
+
+// TotalRounds reports consensus rounds run, including failed ones.
+func (e *Engine) TotalRounds() uint64 { return e.totalRounds }
+
+// OnCommit registers a callback fired when a block becomes available at
+// the primary full node (after app execution).
+func (e *Engine) OnCommit(fn func(*store.CommittedBlock)) {
+	e.onCommit = append(e.onCommit, fn)
+}
+
+// SetValidatorDown injects a validator crash (or recovery). The engine
+// tolerates < 1/3 of voting power down.
+func (e *Engine) SetValidatorDown(index int, down bool) {
+	if index >= 0 && index < len(e.nodes) {
+		e.nodes[index].down = down
+	}
+}
+
+// Halt stops proposing new blocks after the current height completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Start schedules the first proposal. Call once.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.lastAppHash = e.app.Commit() // genesis app hash
+	e.sched.After(0, func() { e.startHeight(1) })
+}
+
+func (e *Engine) startHeight(h int64) {
+	if e.halted {
+		return
+	}
+	for _, n := range e.nodes {
+		n.height = h
+		n.round = 0
+		n.step = stepPropose
+		n.proposals = make(map[int32]*types.Block)
+		n.prevotes = make(map[int32]map[valkey.Address]*types.Vote)
+		n.precommits = make(map[int32]map[valkey.Address]*types.Vote)
+		n.prevoted = make(map[int32]bool)
+		n.precommitted = make(map[int32]bool)
+	}
+	e.startRound(h, 0)
+}
+
+func (e *Engine) startRound(h int64, r int32) {
+	e.totalRounds++
+	proposer := e.valset.Proposer(h, r)
+	for _, n := range e.nodes {
+		if n.height != h {
+			return // height already advanced
+		}
+		n.round = r
+		n.step = stepPropose
+	}
+	for _, n := range e.nodes {
+		n := n
+		if n.down {
+			continue
+		}
+		if n.addr == proposer.Address {
+			e.propose(n, h, r)
+		}
+		// Schedule the proposal timeout: prevote nil if nothing arrived.
+		e.sched.After(e.cfg.TimeoutPropose, func() {
+			if n.height == h && n.round == r && !n.prevoted[r] && !n.down {
+				e.castVote(n, types.PrevoteType, h, r, types.BlockID{})
+			}
+		})
+		// Round-failure fallbacks keep the protocol live when votes split
+		// (e.g. a proposal reached only part of the network): precommit
+		// nil late, and ultimately skip to the next round.
+		e.sched.After(e.cfg.TimeoutPropose+2*e.cfg.TimeoutRoundStep, func() {
+			if n.height == h && n.round == r && n.step != stepCommitted && !n.precommitted[r] && !n.down {
+				e.castVote(n, types.PrecommitType, h, r, types.BlockID{})
+			}
+		})
+		e.sched.After(e.cfg.TimeoutPropose+4*e.cfg.TimeoutRoundStep, func() {
+			if n.height == h && n.round == r && n.step != stepCommitted && !n.down {
+				e.advanceRound(h, r+1)
+			}
+		})
+	}
+}
+
+// propose reaps the mempool, assembles the block and gossips it.
+func (e *Engine) propose(n *node, h int64, r int32) {
+	e.lastProposalTime = e.sched.Now()
+	txs := e.pool.Reap(e.cfg.MaxBlockBytes, e.cfg.MaxBlockGas)
+	header := types.Header{
+		Version:            1,
+		ChainID:            e.cfg.ChainID,
+		Height:             h,
+		Time:               e.sched.Now(),
+		LastBlockID:        e.lastBlockID,
+		LastCommitHash:     e.lastCommit.Hash(),
+		DataHash:           types.DataHash(txs),
+		ValidatorsHash:     e.valset.Hash(),
+		NextValidatorsHash: e.valset.Hash(),
+		AppHash:            e.lastAppHash,
+		ProposerAddress:    n.addr,
+	}
+	block := &types.Block{Header: header, Data: txs, LastCommit: e.lastCommit}
+
+	// Gossip the proposal: per-link latency plus size/bandwidth.
+	var extra time.Duration
+	if e.cfg.ProposalBytesPerSecond > 0 {
+		extra = time.Duration(int64(block.TotalSize()) * int64(time.Second) / e.cfg.ProposalBytesPerSecond)
+	}
+	msg := &proposalMsg{height: h, round: r, block: block}
+	for _, dst := range e.nodes {
+		dst := dst
+		e.net.Send(n.host, dst.host, func() {
+			if extra == 0 {
+				e.onProposal(dst, msg)
+				return
+			}
+			e.sched.After(extra, func() { e.onProposal(dst, msg) })
+		})
+	}
+}
+
+func (e *Engine) onProposal(n *node, msg *proposalMsg) {
+	if n.down || n.height != msg.height || n.round != msg.round {
+		return
+	}
+	if n.proposals[msg.round] != nil {
+		return
+	}
+	// Validate the header chains onto our view.
+	h := msg.block.Header
+	if h.ChainID != e.cfg.ChainID || h.Height != msg.height || h.LastBlockID != e.lastBlockID {
+		return
+	}
+	n.proposals[msg.round] = msg.block
+	if !n.prevoted[msg.round] {
+		e.castVote(n, types.PrevoteType, msg.height, msg.round, types.BlockID{Hash: h.Hash()})
+	}
+	// If a quorum of precommits arrived before the proposal, commit now.
+	e.maybeCommit(n, msg.round)
+}
+
+// castVote signs and gossips a vote.
+func (e *Engine) castVote(n *node, vt types.SignedMsgType, h int64, r int32, blockID types.BlockID) {
+	switch vt {
+	case types.PrevoteType:
+		if n.prevoted[r] {
+			return
+		}
+		n.prevoted[r] = true
+		n.step = stepPrevote
+	case types.PrecommitType:
+		if n.precommitted[r] {
+			return
+		}
+		n.precommitted[r] = true
+		n.step = stepPrecommit
+	}
+	v := &types.Vote{
+		Type:             vt,
+		Height:           h,
+		Round:            r,
+		BlockID:          blockID,
+		Timestamp:        e.sched.Now(),
+		ValidatorAddress: n.addr,
+	}
+	v.Signature = n.key.Sign(types.VoteSignBytes(e.cfg.ChainID, v))
+	for _, dst := range e.nodes {
+		dst := dst
+		e.net.Send(n.host, dst.host, func() { e.onVote(dst, v) })
+	}
+}
+
+func (e *Engine) onVote(n *node, v *types.Vote) {
+	if n.down || n.height != v.Height {
+		return
+	}
+	val := e.valset.ByAddress(v.ValidatorAddress)
+	if val == nil || !val.PubKey.Verify(types.VoteSignBytes(e.cfg.ChainID, v), v.Signature) {
+		return
+	}
+	switch v.Type {
+	case types.PrevoteType:
+		vs := n.votes(n.prevotes, v.Round)
+		if _, dup := vs[v.ValidatorAddress]; dup {
+			return
+		}
+		vs[v.ValidatorAddress] = v
+		e.onPrevoteQuorum(n, v.Round)
+	case types.PrecommitType:
+		vs := n.votes(n.precommits, v.Round)
+		if _, dup := vs[v.ValidatorAddress]; dup {
+			return
+		}
+		vs[v.ValidatorAddress] = v
+		e.onPrecommitQuorum(n, v.Round)
+	}
+}
+
+// quorumFor returns the block ID holding a 2/3+ power majority, if any.
+func (e *Engine) quorumFor(votes map[valkey.Address]*types.Vote) (types.BlockID, bool) {
+	power := make(map[types.BlockID]int64)
+	for addr, v := range votes {
+		if val := e.valset.ByAddress(addr); val != nil {
+			power[v.BlockID] += val.VotingPower
+		}
+	}
+	for id, p := range power {
+		if p*3 > e.valset.TotalPower()*2 {
+			return id, true
+		}
+	}
+	return types.BlockID{}, false
+}
+
+// totalVotePower sums power across all votes in a round.
+func (e *Engine) totalVotePower(votes map[valkey.Address]*types.Vote) int64 {
+	var p int64
+	for addr := range votes {
+		if val := e.valset.ByAddress(addr); val != nil {
+			p += val.VotingPower
+		}
+	}
+	return p
+}
+
+func (e *Engine) onPrevoteQuorum(n *node, r int32) {
+	if n.round != r || n.precommitted[r] {
+		return
+	}
+	votes := n.votes(n.prevotes, r)
+	if id, ok := e.quorumFor(votes); ok {
+		// Precommit the majority block if we have it, nil otherwise.
+		if prop := n.proposals[r]; !id.IsZero() && prop != nil && prop.Header.Hash() == id.Hash {
+			e.castVote(n, types.PrecommitType, n.height, r, id)
+		} else {
+			e.castVote(n, types.PrecommitType, n.height, r, types.BlockID{})
+		}
+		return
+	}
+	// All power voted without a majority: precommit nil after a step
+	// timeout to let stragglers arrive.
+	if e.totalVotePower(votes) == e.valset.TotalPower() {
+		h := n.height
+		e.sched.After(e.cfg.TimeoutRoundStep, func() {
+			if n.height == h && n.round == r && !n.precommitted[r] && !n.down {
+				e.castVote(n, types.PrecommitType, h, r, types.BlockID{})
+			}
+		})
+	}
+}
+
+func (e *Engine) onPrecommitQuorum(n *node, r int32) {
+	if n.height == 0 || n.step == stepCommitted {
+		return
+	}
+	votes := n.votes(n.precommits, r)
+	id, ok := e.quorumFor(votes)
+	if !ok {
+		return
+	}
+	if id.IsZero() {
+		// Round failed; advance.
+		if n.round == r {
+			h := n.height
+			next := r + 1
+			e.sched.After(e.cfg.TimeoutRoundStep/4, func() {
+				if n.height == h && n.round == r && n.step != stepCommitted {
+					e.advanceRound(h, next)
+				}
+			})
+		}
+		return
+	}
+	e.maybeCommit(n, r)
+}
+
+// advanceRound moves every live node to the next round exactly once.
+func (e *Engine) advanceRound(h int64, next int32) {
+	for _, n := range e.nodes {
+		if n.height != h || n.round >= next || n.step == stepCommitted {
+			return
+		}
+	}
+	e.startRound(h, next)
+}
+
+// maybeCommit commits at node n if it has the proposal and a precommit
+// quorum for it.
+func (e *Engine) maybeCommit(n *node, r int32) {
+	prop := n.proposals[r]
+	if n.step == stepCommitted || prop == nil {
+		return
+	}
+	votes := n.votes(n.precommits, r)
+	id, ok := e.quorumFor(votes)
+	if !ok || id.IsZero() || prop.Header.Hash() != id.Hash {
+		return
+	}
+	n.step = stepCommitted
+	if n.index == e.primary {
+		e.commitCanonical(prop, n, r, id)
+	}
+}
+
+// commitCanonical executes the block against the application and, after
+// the gas-proportional execution time, appends it to the store and fires
+// commit callbacks. It then schedules the next height.
+func (e *Engine) commitCanonical(block *types.Block, n *node, r int32, id types.BlockID) {
+	if block.Header.Height <= e.committedHeight {
+		return
+	}
+	e.committedHeight = block.Header.Height
+
+	// Assemble the canonical commit from the precommits this node saw.
+	votes := n.votes(n.precommits, r)
+	commit := &types.Commit{Height: block.Header.Height, Round: r, BlockID: id}
+	for _, val := range e.valset.Validators {
+		sig := types.CommitSig{Flag: types.BlockIDFlagAbsent, ValidatorAddress: val.Address}
+		if v, ok := votes[val.Address]; ok {
+			if v.BlockID == id {
+				sig.Flag = types.BlockIDFlagCommit
+			} else {
+				sig.Flag = types.BlockIDFlagNil
+			}
+			sig.Timestamp = v.Timestamp
+			sig.Signature = v.Signature
+		}
+		commit.Signatures = append(commit.Signatures, sig)
+	}
+
+	// Execute against the canonical application.
+	e.app.BeginBlock(block.Header.Height, e.sched.Now())
+	results := make([]abci.TxResult, len(block.Data))
+	var gasUsed uint64
+	for i, tx := range block.Data {
+		results[i] = e.app.DeliverTx(tx)
+		gasUsed += results[i].GasUsed
+	}
+	e.app.EndBlock(block.Header.Height)
+	appHash := e.app.Commit()
+
+	execTime := time.Duration(int64(gasUsed) * e.cfg.ExecNanosPerGas)
+	e.lastBlockID = id
+	e.lastCommit = commit
+	e.lastAppHash = appHash
+	if len(block.Data) == 0 {
+		e.emptyBlocks++
+	}
+
+	cb := &store.CommittedBlock{Block: block, Commit: commit, Results: results}
+	e.sched.After(execTime, func() {
+		if err := e.stor.Append(cb); err != nil {
+			// Heights are engine-controlled; a gap is a programming error.
+			panic(err)
+		}
+		e.pool.Update(block.Data)
+		for _, fn := range e.onCommit {
+			fn(cb)
+		}
+		// Next proposal honours both execution time and the interval floor.
+		next := e.lastProposalTime + e.cfg.MinBlockInterval
+		now := e.sched.Now()
+		if next < now {
+			next = now
+		}
+		h := block.Header.Height + 1
+		e.sched.At(next, func() { e.startHeight(h) })
+	})
+}

@@ -1,0 +1,312 @@
+package consensus
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"time"
+
+	"ibcbench/internal/abci"
+	"ibcbench/internal/netem"
+	"ibcbench/internal/sim"
+	"ibcbench/internal/tendermint/mempool"
+	"ibcbench/internal/tendermint/store"
+	"ibcbench/internal/tendermint/types"
+)
+
+// stubTx is a fixed-size transaction for consensus tests.
+type stubTx struct {
+	id  string
+	gas uint64
+}
+
+func (t stubTx) Hash() types.Hash  { return sha256.Sum256([]byte(t.id)) }
+func (t stubTx) Size() int         { return 100 }
+func (t stubTx) GasWanted() uint64 { return t.gas }
+
+// stubApp counts executions and burns the declared gas.
+type stubApp struct {
+	delivered int
+	commits   int
+	began     []int64
+}
+
+func (a *stubApp) CheckTx(types.Tx) error              { return nil }
+func (a *stubApp) BeginBlock(h int64, _ time.Duration) { a.began = append(a.began, h) }
+func (a *stubApp) EndBlock(int64)                      {}
+func (a *stubApp) DeliverTx(tx types.Tx) abci.TxResult {
+	a.delivered++
+	return abci.TxResult{GasUsed: tx.GasWanted()}
+}
+func (a *stubApp) Commit() types.Hash {
+	a.commits++
+	return sha256.Sum256([]byte(fmt.Sprintf("state-%d", a.commits)))
+}
+
+type harness struct {
+	sched *sim.Scheduler
+	net   *netem.Network
+	app   *stubApp
+	pool  *mempool.Pool
+	store *store.Store
+	eng   *Engine
+}
+
+func newHarness(t *testing.T, mutate func(*Config)) *harness {
+	t.Helper()
+	sched := sim.NewScheduler()
+	net := netem.New(sched, sim.NewRNG(1), netem.DefaultWAN())
+	cfg := DefaultConfig("chain-a")
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	app := &stubApp{}
+	pool := mempool.New(mempool.DefaultConfig(), app.CheckTx)
+	stor := store.New(cfg.ChainID)
+	eng := New(sched, net, cfg, app, pool, stor)
+	return &harness{sched: sched, net: net, app: app, pool: pool, store: stor, eng: eng}
+}
+
+func TestChainProducesBlocks(t *testing.T) {
+	h := newHarness(t, nil)
+	h.eng.Start()
+	if err := h.sched.RunUntil(60 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// With a 5s floor, ~60s should yield around 11-12 blocks.
+	got := h.store.Height()
+	if got < 10 || got > 13 {
+		t.Fatalf("height after 60s = %d, want ~11", got)
+	}
+	if h.eng.EmptyBlocks() != uint64(got) {
+		t.Fatalf("all blocks should be empty, got %d of %d", h.eng.EmptyBlocks(), got)
+	}
+}
+
+func TestBlockIntervalFloor(t *testing.T) {
+	h := newHarness(t, nil)
+	h.eng.Start()
+	if err := h.sched.RunUntil(120 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var prev time.Duration
+	for height := int64(1); height <= h.store.Height(); height++ {
+		cb, err := h.store.Block(height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt := cb.Block.Header.Time
+		if height > 1 {
+			if iv := bt - prev; iv < 5*time.Second {
+				t.Fatalf("interval before height %d = %v, below 5s floor", height, iv)
+			}
+		}
+		prev = bt
+	}
+}
+
+func TestTransactionsCommitted(t *testing.T) {
+	h := newHarness(t, nil)
+	for i := 0; i < 50; i++ {
+		if err := h.pool.Add(stubTx{id: fmt.Sprintf("tx%d", i), gas: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.Start()
+	if err := h.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if h.app.delivered != 50 {
+		t.Fatalf("delivered %d txs, want 50", h.app.delivered)
+	}
+	if h.pool.Size() != 0 {
+		t.Fatalf("mempool still holds %d txs", h.pool.Size())
+	}
+	cb, err := h.store.Block(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cb.Block.Data) != 50 {
+		t.Fatalf("block 1 carries %d txs", len(cb.Block.Data))
+	}
+}
+
+func TestCommitVerifiableByLightClient(t *testing.T) {
+	h := newHarness(t, nil)
+	h.eng.Start()
+	if err := h.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for height := int64(1); height <= h.store.Height(); height++ {
+		cb, err := h.store.Block(height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockID := types.BlockID{Hash: cb.Block.Header.Hash()}
+		if err := h.eng.ValidatorSet().VerifyCommit("chain-a", blockID, height, cb.Commit); err != nil {
+			t.Fatalf("commit for height %d fails light-client verification: %v", height, err)
+		}
+	}
+}
+
+func TestHeadersChainTogether(t *testing.T) {
+	h := newHarness(t, nil)
+	h.eng.Start()
+	if err := h.sched.RunUntil(40 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for height := int64(2); height <= h.store.Height(); height++ {
+		cur, _ := h.store.Block(height)
+		prev, _ := h.store.Block(height - 1)
+		if cur.Block.Header.LastBlockID.Hash != prev.Block.Header.Hash() {
+			t.Fatalf("height %d does not chain onto %d", height, height-1)
+		}
+		if cur.Block.LastCommit.Height != height-1 {
+			t.Fatalf("height %d carries commit for %d", height, cur.Block.LastCommit.Height)
+		}
+	}
+}
+
+func TestToleratesMinorityValidatorFailure(t *testing.T) {
+	h := newHarness(t, nil)
+	// Take down a non-primary validator (node 0 is the RPC full node
+	// whose commit defines block availability).
+	h.eng.SetValidatorDown(4, true) // 1 of 5 down: < 1/3 power
+	h.eng.Start()
+	if err := h.sched.RunUntil(90 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if h.store.Height() < 8 {
+		t.Fatalf("height = %d with one validator down, chain stalled", h.store.Height())
+	}
+	// Rounds where the down validator proposes must have failed over.
+	if h.eng.TotalRounds() <= uint64(h.store.Height()) {
+		t.Fatalf("rounds = %d, expected failed rounds beyond %d heights",
+			h.eng.TotalRounds(), h.store.Height())
+	}
+}
+
+func TestHaltsWithMajorityFailure(t *testing.T) {
+	h := newHarness(t, nil)
+	h.eng.SetValidatorDown(3, true)
+	h.eng.SetValidatorDown(4, true) // 2 of 5 down: 40% > 1/3
+	h.eng.Start()
+	if err := h.sched.RunUntil(120 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if h.store.Height() != 0 {
+		t.Fatalf("chain committed %d blocks with >1/3 power down", h.store.Height())
+	}
+}
+
+func TestRecoveryAfterValidatorRestart(t *testing.T) {
+	h := newHarness(t, nil)
+	h.eng.SetValidatorDown(3, true)
+	h.eng.SetValidatorDown(4, true)
+	h.eng.Start()
+	if err := h.sched.RunUntil(60 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if h.store.Height() != 0 {
+		t.Fatal("committed during outage")
+	}
+	h.eng.SetValidatorDown(4, false)
+	if err := h.sched.RunUntil(180 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if h.store.Height() == 0 {
+		t.Fatal("chain did not recover after validator restart")
+	}
+}
+
+func TestExecutionTimeStretchesInterval(t *testing.T) {
+	h := newHarness(t, nil)
+	// One enormous block: gas chosen so execution takes ~20s
+	// (20s / 24ns per gas ≈ 8.3e8 gas).
+	if err := h.pool.Add(stubTx{id: "huge", gas: 850_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Start()
+	if err := h.sched.RunUntil(60 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b1, err := h.store.Block(1)
+	if err != nil {
+		t.Fatal("block 1 missing")
+	}
+	b2, err := h.store.Block(2)
+	if err != nil {
+		t.Fatal("block 2 missing")
+	}
+	iv := b2.Block.Header.Time - b1.Block.Header.Time
+	if iv < 15*time.Second {
+		t.Fatalf("interval after heavy block = %v, execution time not reflected", iv)
+	}
+}
+
+func TestOnCommitCallback(t *testing.T) {
+	h := newHarness(t, nil)
+	var heights []int64
+	h.eng.OnCommit(func(cb *store.CommittedBlock) {
+		heights = append(heights, cb.Block.Header.Height)
+	})
+	h.eng.Start()
+	if err := h.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(heights) != int(h.store.Height()) {
+		t.Fatalf("callbacks = %d, height = %d", len(heights), h.store.Height())
+	}
+	for i, got := range heights {
+		if got != int64(i+1) {
+			t.Fatalf("callback heights out of order: %v", heights)
+		}
+	}
+}
+
+func TestHalt(t *testing.T) {
+	h := newHarness(t, nil)
+	h.eng.Start()
+	if err := h.sched.RunUntil(12 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h.eng.Halt()
+	before := h.store.Height()
+	if err := h.sched.RunUntil(60 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// At most one in-flight height may complete after Halt.
+	if h.store.Height() > before+1 {
+		t.Fatalf("height advanced from %d to %d after halt", before, h.store.Height())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, types.Hash) {
+		sched := sim.NewScheduler()
+		net := netem.New(sched, sim.NewRNG(7), netem.DefaultWAN())
+		app := &stubApp{}
+		pool := mempool.New(mempool.DefaultConfig(), nil)
+		stor := store.New("chain-a")
+		eng := New(sched, net, DefaultConfig("chain-a"), app, pool, stor)
+		for i := 0; i < 10; i++ {
+			if err := pool.Add(stubTx{id: fmt.Sprintf("t%d", i), gas: 500}); err != nil {
+				panic(err)
+			}
+		}
+		eng.Start()
+		if err := sched.RunUntil(42 * time.Second); err != nil {
+			panic(err)
+		}
+		cb, err := stor.Block(stor.Height())
+		if err != nil {
+			panic(err)
+		}
+		return stor.Height(), cb.Block.Header.Hash()
+	}
+	h1, hash1 := run()
+	h2, hash2 := run()
+	if h1 != h2 || hash1 != hash2 {
+		t.Fatal("identical seeds produced different chains")
+	}
+}

@@ -1,0 +1,153 @@
+// Package mempool implements the pending-transaction pool from which
+// block proposers reap transactions.
+//
+// The simulation uses one pool per chain, standing in for the gossiped
+// union of every validator's pool; with five co-located validators and a
+// relayer talking to local endpoints (the paper's §III-C deployment) the
+// pools converge well within a block interval, so a shared pool preserves
+// the observable behaviour while keeping runs deterministic.
+package mempool
+
+import (
+	"errors"
+
+	"ibcbench/internal/tendermint/types"
+)
+
+// Pool admission errors.
+var (
+	// ErrFull reports that the pool hit its transaction-count capacity.
+	ErrFull = errors.New("mempool: full")
+	// ErrDuplicate reports a transaction already in the pool.
+	ErrDuplicate = errors.New("mempool: tx already present")
+	// ErrTooLarge reports a transaction exceeding the per-tx byte cap.
+	ErrTooLarge = errors.New("mempool: tx exceeds max size")
+)
+
+// CheckFunc validates a transaction for admission (the app's CheckTx).
+type CheckFunc func(types.Tx) error
+
+// Config bounds the pool. Zero values mean "unlimited" except MaxTxs.
+type Config struct {
+	// MaxTxs caps the number of pending transactions (Tendermint's
+	// mempool.size; Gaia default is 5000).
+	MaxTxs int
+	// MaxTxBytes caps a single transaction's size.
+	MaxTxBytes int
+}
+
+// DefaultConfig mirrors Gaia's defaults.
+func DefaultConfig() Config {
+	return Config{MaxTxs: 5000, MaxTxBytes: 1 << 20}
+}
+
+// Pool is a FIFO transaction pool with duplicate suppression.
+type Pool struct {
+	cfg     Config
+	check   CheckFunc
+	txs     []types.Tx
+	present map[types.Hash]bool
+
+	added    uint64
+	rejected uint64
+}
+
+// New returns an empty pool. check may be nil (no app-level validation).
+func New(cfg Config, check CheckFunc) *Pool {
+	if cfg.MaxTxs <= 0 {
+		cfg.MaxTxs = DefaultConfig().MaxTxs
+	}
+	return &Pool{
+		cfg:     cfg,
+		check:   check,
+		present: make(map[types.Hash]bool),
+	}
+}
+
+// Size reports the number of pending transactions.
+func (p *Pool) Size() int { return len(p.txs) }
+
+// Added reports the total number of admitted transactions.
+func (p *Pool) Added() uint64 { return p.added }
+
+// Rejected reports the total number of rejected submissions.
+func (p *Pool) Rejected() uint64 { return p.rejected }
+
+// Add validates and enqueues a transaction.
+func (p *Pool) Add(tx types.Tx) error {
+	if p.cfg.MaxTxBytes > 0 && tx.Size() > p.cfg.MaxTxBytes {
+		p.rejected++
+		return ErrTooLarge
+	}
+	if len(p.txs) >= p.cfg.MaxTxs {
+		p.rejected++
+		return ErrFull
+	}
+	h := tx.Hash()
+	if p.present[h] {
+		p.rejected++
+		return ErrDuplicate
+	}
+	if p.check != nil {
+		if err := p.check(tx); err != nil {
+			p.rejected++
+			return err
+		}
+	}
+	p.txs = append(p.txs, tx)
+	p.present[h] = true
+	p.added++
+	return nil
+}
+
+// Reap returns up to the byte/gas bounded prefix of pending transactions
+// in FIFO order, without removing them. Zero bounds mean unlimited.
+func (p *Pool) Reap(maxBytes int, maxGas uint64) []types.Tx {
+	var (
+		out   []types.Tx
+		bytes int
+		gas   uint64
+	)
+	for _, tx := range p.txs {
+		if maxBytes > 0 && bytes+tx.Size() > maxBytes {
+			break
+		}
+		if maxGas > 0 && gas+tx.GasWanted() > maxGas {
+			break
+		}
+		out = append(out, tx)
+		bytes += tx.Size()
+		gas += tx.GasWanted()
+	}
+	return out
+}
+
+// Update removes committed transactions from the pool.
+func (p *Pool) Update(committed []types.Tx) {
+	if len(committed) == 0 {
+		return
+	}
+	gone := make(map[types.Hash]bool, len(committed))
+	for _, tx := range committed {
+		gone[tx.Hash()] = true
+	}
+	kept := p.txs[:0]
+	for _, tx := range p.txs {
+		if gone[tx.Hash()] {
+			delete(p.present, tx.Hash())
+			continue
+		}
+		kept = append(kept, tx)
+	}
+	// Zero trailing slots so removed txs can be collected.
+	for i := len(kept); i < len(p.txs); i++ {
+		p.txs[i] = nil
+	}
+	p.txs = kept
+}
+
+// Flush drops every pending transaction.
+func (p *Pool) Flush() {
+	p.txs = nil
+	p.present = make(map[types.Hash]bool)
+}

@@ -1,0 +1,336 @@
+// Package rpc models the Tendermint RPC service of the primary full
+// node, reproducing the paper's two central service-level findings:
+//
+//   - Queries are processed one at a time: "Tendermint is unable to
+//     process queries in parallel, requiring the relayer to wait while
+//     its requests for data are processed one by one" (§IV-B). All
+//     request kinds — broadcasts, confirmations and data pulls — share a
+//     single serial resource, which is why high submission rates also
+//     degrade confirmation queries (Table I's failure modes).
+//
+//   - WebSocket NewBlock event frames are capped at 16 MiB; larger
+//     frames fail with the relayer-visible "Failed to collect events"
+//     error (§V), leaving pending transfers stuck.
+package rpc
+
+import (
+	"errors"
+	"time"
+
+	"ibcbench/internal/netem"
+	"ibcbench/internal/sim"
+	"ibcbench/internal/simconf"
+	"ibcbench/internal/tendermint/mempool"
+	"ibcbench/internal/tendermint/store"
+	"ibcbench/internal/tendermint/types"
+)
+
+// Service errors.
+var (
+	// ErrTimeout reports a client-side RPC deadline expiry
+	// (the relayer logs these as "failed tx: no confirmation").
+	ErrTimeout = errors.New("rpc: request timed out")
+	// ErrFrameTooLarge is the WebSocket overflow: the paper's
+	// "Failed to collect events" condition.
+	ErrFrameTooLarge = errors.New("rpc: failed to collect events: websocket frame exceeds 16MiB")
+	// ErrNotFound reports a missing tx/block.
+	ErrNotFound = errors.New("rpc: not found")
+)
+
+// Config parameterizes the service model.
+type Config struct {
+	// BroadcastCost is the serial service time per broadcast_tx.
+	BroadcastCost time.Duration
+	// StatusCost is the serial service time for light queries.
+	StatusCost time.Duration
+	// MaxFrameBytes caps WebSocket event frames (paper: 16 MiB).
+	MaxFrameBytes int
+	// PageScaleMsgs models pagination overhead: a data-pull's cost is
+	// scaled by (1 + (blockMsgs/PageScaleMsgs)^2), capturing the paper's
+	// observation that large blocks return hundreds of thousands of
+	// output lines across multiple pages whose cost grows superlinearly
+	// (§V). 0 disables scaling.
+	PageScaleMsgs int
+	// ClientTimeout bounds how long callers wait for a response.
+	ClientTimeout time.Duration
+}
+
+// DefaultConfig mirrors the calibrated service times.
+func DefaultConfig() Config {
+	return Config{
+		BroadcastCost: simconf.BroadcastTxCost,
+		StatusCost:    simconf.StatusQueryCost,
+		MaxFrameBytes: simconf.WebSocketMaxFrameBytes,
+		PageScaleMsgs: simconf.QueryPageScaleMsgs,
+		ClientTimeout: 10 * time.Second,
+	}
+}
+
+// EventFrame is one NewBlock notification delivered to subscribers.
+type EventFrame struct {
+	Height     int64
+	BlockTime  time.Duration
+	Txs        []*store.TxInfo
+	FrameBytes int
+	// Err is ErrFrameTooLarge when the frame exceeded the limit; the
+	// Txs slice is then nil (events were not collected).
+	Err error
+}
+
+// Server is the RPC endpoint of one chain's primary full node.
+type Server struct {
+	sched *sim.Scheduler
+	net   *netem.Network
+	host  netem.Host
+	cfg   Config
+
+	stor *store.Store
+	pool *mempool.Pool
+
+	// serial is the single-threaded query processor.
+	serial *sim.SerialResource
+
+	// txQueryCost models response-size-proportional data-pull times.
+	txQueryCost func(types.Tx) time.Duration
+	// eventFrameBytes sizes a block's WebSocket event frame.
+	eventFrameBytes func([]types.Tx) int
+	// accountSeq resolves committed account sequences (auth queries).
+	accountSeq func(string) (uint64, error)
+	// msgCount counts messages in a tx, for pagination scaling.
+	msgCount func(types.Tx) int
+
+	subs []subscriber
+
+	broadcasts  uint64
+	queries     uint64
+	frameErrors uint64
+}
+
+type subscriber struct {
+	host netem.Host
+	fn   func(*EventFrame)
+}
+
+// New creates the RPC server for a chain.
+func New(
+	sched *sim.Scheduler,
+	net *netem.Network,
+	host netem.Host,
+	cfg Config,
+	stor *store.Store,
+	pool *mempool.Pool,
+	txQueryCost func(types.Tx) time.Duration,
+	eventFrameBytes func([]types.Tx) int,
+	accountSeq func(string) (uint64, error),
+	msgCount func(types.Tx) int,
+) *Server {
+	return &Server{
+		sched:           sched,
+		net:             net,
+		host:            host,
+		cfg:             cfg,
+		stor:            stor,
+		pool:            pool,
+		serial:          sim.NewSerialResource(sched),
+		txQueryCost:     txQueryCost,
+		eventFrameBytes: eventFrameBytes,
+		accountSeq:      accountSeq,
+		msgCount:        msgCount,
+	}
+}
+
+// pageFactor scales a data pull by the response size of its block.
+func (s *Server) pageFactor(height int64) float64 {
+	if s.cfg.PageScaleMsgs <= 0 || s.msgCount == nil {
+		return 1
+	}
+	infos, err := s.stor.TxsAtHeight(height)
+	if err != nil {
+		return 1
+	}
+	total := 0
+	for _, info := range infos {
+		total += s.msgCount(info.Tx)
+	}
+	x := float64(total) / float64(s.cfg.PageScaleMsgs)
+	return 1 + x*x
+}
+
+// Host reports the node's network address.
+func (s *Server) Host() netem.Host { return s.host }
+
+// Backlog reports the serial queue's current wait time (diagnostics).
+func (s *Server) Backlog() time.Duration { return s.serial.Backlog() }
+
+// BusyTime reports accumulated serial service time.
+func (s *Server) BusyTime() time.Duration { return s.serial.BusyTime() }
+
+// Stats reports (broadcasts, queries, frameErrors).
+func (s *Server) Stats() (uint64, uint64, uint64) {
+	return s.broadcasts, s.queries, s.frameErrors
+}
+
+// request runs fn on the serial resource after the client->server hop,
+// then delivers the reply after the server->client hop. A client-side
+// timeout aborts waiting (the server still does the work).
+func request[T any](s *Server, from netem.Host, service time.Duration, fn func() (T, error), cb func(T, error)) {
+	done := false
+	finish := func(v T, err error) {
+		if done {
+			return
+		}
+		done = true
+		cb(v, err)
+	}
+	if s.cfg.ClientTimeout > 0 {
+		s.sched.After(s.cfg.ClientTimeout, func() {
+			var zero T
+			finish(zero, ErrTimeout)
+		})
+	}
+	s.net.Send(from, s.host, func() {
+		s.serial.Submit(service, func() {
+			v, err := fn()
+			s.net.Send(s.host, from, func() { finish(v, err) })
+		})
+	})
+}
+
+// BroadcastTxSync submits a transaction: it is accepted into the mempool
+// (after CheckTx) or rejected. The reply carries the CheckTx error.
+func (s *Server) BroadcastTxSync(from netem.Host, tx types.Tx, cb func(error)) {
+	s.broadcasts++
+	request(s, from, s.cfg.BroadcastCost, func() (struct{}, error) {
+		return struct{}{}, s.pool.Add(tx)
+	}, func(_ struct{}, err error) {
+		if cb != nil {
+			cb(err)
+		}
+	})
+}
+
+// QueryTx checks whether a transaction is committed (light confirmation
+// query; returns ErrNotFound while pending).
+func (s *Server) QueryTx(from netem.Host, hash types.Hash, cb func(*store.TxInfo, error)) {
+	s.queries++
+	request(s, from, s.cfg.StatusCost, func() (*store.TxInfo, error) {
+		info, err := s.stor.Tx(hash)
+		if err != nil {
+			return nil, ErrNotFound
+		}
+		return info, nil
+	}, cb)
+}
+
+// QueryTxData is the heavy data pull: it returns the full transaction
+// with a service time proportional to the response size. This is the
+// operation behind 69% of the paper's cross-chain processing time.
+func (s *Server) QueryTxData(from netem.Host, hash types.Hash, cb func(*store.TxInfo, error)) {
+	s.queries++
+	info, lookupErr := s.stor.Tx(hash)
+	cost := s.cfg.StatusCost
+	if lookupErr == nil && s.txQueryCost != nil {
+		cost = time.Duration(float64(s.txQueryCost(info.Tx)) * s.pageFactor(info.Height))
+	}
+	request(s, from, cost, func() (*store.TxInfo, error) {
+		// Re-resolve under service, in case it committed while queued.
+		got, err := s.stor.Tx(hash)
+		if err != nil {
+			return nil, ErrNotFound
+		}
+		return got, nil
+	}, cb)
+}
+
+// QueryBlockTxs returns all transactions at a height (the paper's
+// tx_search --events tx.height=X), with size-proportional cost.
+func (s *Server) QueryBlockTxs(from netem.Host, height int64, cb func([]*store.TxInfo, error)) {
+	s.queries++
+	var cost time.Duration = s.cfg.StatusCost
+	if infos, err := s.stor.TxsAtHeight(height); err == nil && s.txQueryCost != nil {
+		pf := s.pageFactor(height)
+		for _, info := range infos {
+			cost += time.Duration(float64(s.txQueryCost(info.Tx)) * pf)
+		}
+	}
+	request(s, from, cost, func() ([]*store.TxInfo, error) {
+		infos, err := s.stor.TxsAtHeight(height)
+		if err != nil {
+			return nil, ErrNotFound
+		}
+		return infos, nil
+	}, cb)
+}
+
+// QueryAccountSequence resolves an account's committed sequence.
+func (s *Server) QueryAccountSequence(from netem.Host, account string, cb func(uint64, error)) {
+	s.queries++
+	request(s, from, s.cfg.StatusCost, func() (uint64, error) {
+		if s.accountSeq == nil {
+			return 0, ErrNotFound
+		}
+		return s.accountSeq(account)
+	}, cb)
+}
+
+// QueryHeight reports the latest committed height (status query).
+func (s *Server) QueryHeight(from netem.Host, cb func(int64, error)) {
+	s.queries++
+	request(s, from, s.cfg.StatusCost, func() (int64, error) {
+		return s.stor.Height(), nil
+	}, cb)
+}
+
+// Subscribe registers a WebSocket NewBlock subscription from a host.
+func (s *Server) Subscribe(from netem.Host, fn func(*EventFrame)) {
+	s.subs = append(s.subs, subscriber{host: from, fn: fn})
+}
+
+// PublishBlock pushes a committed block to subscribers. Call from the
+// consensus engine's OnCommit hook.
+func (s *Server) PublishBlock(cb *store.CommittedBlock) {
+	if len(s.subs) == 0 {
+		return
+	}
+	frameBytes := 0
+	if s.eventFrameBytes != nil {
+		frameBytes = s.eventFrameBytes(cb.Block.Data)
+	}
+	frame := &EventFrame{
+		Height:     cb.Block.Header.Height,
+		BlockTime:  cb.Block.Header.Time,
+		FrameBytes: frameBytes,
+	}
+	if s.cfg.MaxFrameBytes > 0 && frameBytes > s.cfg.MaxFrameBytes {
+		s.frameErrors++
+		frame.Err = ErrFrameTooLarge
+	} else {
+		infos := make([]*store.TxInfo, len(cb.Block.Data))
+		for i, tx := range cb.Block.Data {
+			infos[i] = &store.TxInfo{
+				Height: cb.Block.Header.Height,
+				Index:  i,
+				Tx:     tx,
+				Result: cb.Results[i],
+			}
+		}
+		frame.Txs = infos
+	}
+	for _, sub := range s.subs {
+		sub := sub
+		s.net.Send(s.host, sub.host, func() { sub.fn(frame) })
+	}
+}
+
+// QueryCommit returns the committed block (header + commit signatures) at
+// a height — what the relayer uses to build client updates.
+func (s *Server) QueryCommit(from netem.Host, height int64, cb func(*store.CommittedBlock, error)) {
+	s.queries++
+	request(s, from, s.cfg.StatusCost, func() (*store.CommittedBlock, error) {
+		blk, err := s.stor.Block(height)
+		if err != nil {
+			return nil, ErrNotFound
+		}
+		return blk, nil
+	}, cb)
+}

@@ -1,0 +1,78 @@
+// Package valkey manages validator signing keys.
+//
+// Tendermint validators sign consensus votes with ed25519 keys; light
+// clients authenticate counterparty headers by verifying those
+// signatures against a known validator set. This package wraps the
+// standard-library ed25519 implementation with deterministic key
+// derivation so simulation runs are reproducible.
+package valkey
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Address identifies a validator (first 20 bytes of the pubkey hash,
+// like Tendermint's address derivation).
+type Address [20]byte
+
+// String renders the address as hex.
+func (a Address) String() string { return hex.EncodeToString(a[:]) }
+
+// PrivKey is a validator signing key.
+type PrivKey struct {
+	key ed25519.PrivateKey
+	pub PubKey
+}
+
+// PubKey is a validator verification key.
+type PubKey struct {
+	key ed25519.PublicKey
+}
+
+// Derive deterministically creates a key pair from a chain ID and index.
+// Deterministic derivation keeps experiment runs reproducible without
+// seeding crypto/rand.
+func Derive(chainID string, index int) *PrivKey {
+	seed := sha256.Sum256([]byte(fmt.Sprintf("ibcbench/valkey/%s/%d", chainID, index)))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	pk := PubKey{key: priv.Public().(ed25519.PublicKey)}
+	return &PrivKey{key: priv, pub: pk}
+}
+
+// Pub returns the verification key.
+func (p *PrivKey) Pub() PubKey { return p.pub }
+
+// Sign signs msg.
+func (p *PrivKey) Sign(msg []byte) []byte {
+	return ed25519.Sign(p.key, msg)
+}
+
+// Address derives the validator address from the public key.
+func (k PubKey) Address() Address {
+	h := sha256.Sum256(k.key)
+	var a Address
+	copy(a[:], h[:20])
+	return a
+}
+
+// Verify reports whether sig is a valid signature of msg under the key.
+func (k PubKey) Verify(msg, sig []byte) bool {
+	if len(k.key) != ed25519.PublicKeySize {
+		return false
+	}
+	return ed25519.Verify(k.key, msg, sig)
+}
+
+// Bytes exposes the raw public key material (for header serialization).
+func (k PubKey) Bytes() []byte { return append([]byte(nil), k.key...) }
+
+// PubKeyFromBytes reconstructs a verification key.
+func PubKeyFromBytes(b []byte) (PubKey, error) {
+	if len(b) != ed25519.PublicKeySize {
+		return PubKey{}, fmt.Errorf("valkey: bad public key length %d", len(b))
+	}
+	return PubKey{key: append(ed25519.PublicKey(nil), b...)}, nil
+}

@@ -1,0 +1,62 @@
+package valkey
+
+import "testing"
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive("chain-a", 0)
+	b := Derive("chain-a", 0)
+	if a.Pub().Address() != b.Pub().Address() {
+		t.Fatal("same derivation inputs produced different keys")
+	}
+	c := Derive("chain-a", 1)
+	d := Derive("chain-b", 0)
+	if a.Pub().Address() == c.Pub().Address() || a.Pub().Address() == d.Pub().Address() {
+		t.Fatal("distinct derivation inputs collided")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	k := Derive("chain-a", 3)
+	msg := []byte("vote for block 7")
+	sig := k.Sign(msg)
+	if !k.Pub().Verify(msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if k.Pub().Verify([]byte("vote for block 8"), sig) {
+		t.Fatal("signature verified for wrong message")
+	}
+	other := Derive("chain-a", 4)
+	if other.Pub().Verify(msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+	sig[0] ^= 0xff
+	if k.Pub().Verify(msg, sig) {
+		t.Fatal("tampered signature verified")
+	}
+}
+
+func TestPubKeyRoundTrip(t *testing.T) {
+	k := Derive("chain-a", 9)
+	raw := k.Pub().Bytes()
+	pk, err := PubKeyFromBytes(raw)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if pk.Address() != k.Pub().Address() {
+		t.Fatal("round-tripped key has different address")
+	}
+	msg := []byte("m")
+	if !pk.Verify(msg, k.Sign(msg)) {
+		t.Fatal("round-tripped key cannot verify")
+	}
+	if _, err := PubKeyFromBytes([]byte("short")); err == nil {
+		t.Fatal("accepted malformed key bytes")
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	a := Derive("c", 0).Pub().Address()
+	if len(a.String()) != 40 {
+		t.Fatalf("address hex length = %d", len(a.String()))
+	}
+}
