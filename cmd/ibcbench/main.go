@@ -8,6 +8,10 @@
 //	ibcbench -experiment all            # everything (slow)
 //	ibcbench -experiment fig8 -seeds 5  # one artifact
 //	ibcbench -experiment fig12 -transfers 5000
+//	ibcbench -experiment topo -topology hub:4 -rate 20
+//
+// Sweeps fan (config, seed) executions out over a worker pool
+// (-workers, default GOMAXPROCS); results are identical to serial runs.
 package main
 
 import (
@@ -29,16 +33,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ibcbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|all")
+		exp       = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|all")
 		seeds     = fs.Int("seeds", 3, "executions per configuration (paper: 20)")
 		windows   = fs.Int("windows", 0, "submission block windows (0 = paper default)")
 		transfers = fs.Int("transfers", 5000, "transfers for fig12/fig13")
 		seed      = fs.Int64("seed", 42, "base RNG seed")
+		topology  = fs.String("topology", "hub:4", "topo experiment graph: two|line:n|hub:n|mesh:n")
+		rate      = fs.Int("rate", 20, "per-edge input rate (rps) for the topo experiment")
+		workers   = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiments.Options{Seeds: *seeds, Windows: *windows}
+	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	if want("fig6") || want("fig7") || want("table1") {
@@ -113,6 +120,14 @@ func run(args []string) error {
 		for _, r := range rows {
 			fmt.Printf("%-22s %-12d %-12d\n", r.MsgType, r.Measured, r.Paper)
 		}
+		fmt.Println()
+	}
+	if want("topo") {
+		res, err := experiments.TopologySweep(opt, *topology, *rate)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
 		fmt.Println()
 	}
 	if want("ws") {

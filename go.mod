@@ -1,0 +1,3 @@
+module ibcbench
+
+go 1.22

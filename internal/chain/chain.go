@@ -49,6 +49,7 @@ type Chain struct {
 	sched    *sim.Scheduler
 	network  *netem.Network
 	rpcNodes int
+	links    int
 }
 
 // New assembles a chain on the shared scheduler and network.
@@ -134,30 +135,50 @@ type Pair struct {
 // Link seeds both chains' IBC state with open clients, a connection and
 // an unordered transfer channel (the fast-path equivalent of the paper's
 // `hermes create channel` setup; the full message-driven handshake is
-// exercised in the ibc package tests).
+// exercised in the ibc package tests). Each call consumes the next free
+// client/connection/channel ordinal on each chain, so a chain can be
+// linked to many counterparties (hub, mesh and line topologies).
 func Link(a, b *Chain) *Pair {
+	ordA, ordB := a.links, b.links
+	a.links++
+	b.links++
+	return LinkAt(a, b, ordA, ordB)
+}
+
+// LinkAt links two chains using explicit per-chain identifier ordinals:
+// on a the link uses channel-<ordA>/connection-<ordA>/07-tendermint-<ordA>,
+// and symmetrically on b.
+func LinkAt(a, b *Chain, ordA, ordB int) *Pair {
 	p := &Pair{
 		A: a, B: b,
 		Port:      transfer.PortID,
-		ChannelAB: "channel-0",
-		ChannelBA: "channel-0",
-		ClientOnA: "07-tendermint-0",
-		ClientOnB: "07-tendermint-0",
+		ChannelAB: fmt.Sprintf("channel-%d", ordA),
+		ChannelBA: fmt.Sprintf("channel-%d", ordB),
+		ClientOnA: fmt.Sprintf("07-tendermint-%d", ordA),
+		ClientOnB: fmt.Sprintf("07-tendermint-%d", ordB),
 	}
-	seed := func(host, peer *Chain, clientID string) {
+	connA := fmt.Sprintf("connection-%d", ordA)
+	connB := fmt.Sprintf("connection-%d", ordB)
+	type side struct {
+		host, peer                   *Chain
+		clientID, connID, chanID     string
+		cpClientID, cpConnID, cpChan string
+	}
+	for _, s := range []side{
+		{a, b, p.ClientOnA, connA, p.ChannelAB, p.ClientOnB, connB, p.ChannelBA},
+		{b, a, p.ClientOnB, connB, p.ChannelBA, p.ClientOnA, connA, p.ChannelAB},
+	} {
 		ctx := &app.Context{
-			ChainID: host.ID, Height: 0, Time: 0,
-			State: host.App.State(), Bank: host.App.Bank(), App: host.App,
+			ChainID: s.host.ID, Height: 0, Time: 0,
+			State: s.host.App.State(), Bank: s.host.App.Bank(), App: s.host.App,
 		}
-		state := peer.ClientStateFor()
+		state := s.peer.ClientStateFor()
 		state.LatestHeight = 1
-		setClient(ctx, clientID, state)
-		setConnection(ctx, "connection-0", clientID)
-		setChannel(ctx, p.Port, "channel-0", "connection-0")
+		setClient(ctx, s.clientID, state)
+		setConnection(ctx, s.connID, s.clientID, s.cpConnID, s.cpClientID)
+		setChannel(ctx, p.Port, s.chanID, s.connID, s.cpChan)
 		ctx.State.CommitTx()
 	}
-	seed(a, b, p.ClientOnA)
-	seed(b, a, p.ClientOnB)
 	return p
 }
 
@@ -167,21 +188,21 @@ func setClient(ctx *app.Context, clientID string, st ibc.ClientState) {
 	mustSet(ctx, ibc.ClientStateKey(clientID), st)
 }
 
-func setConnection(ctx *app.Context, connID, clientID string) {
+func setConnection(ctx *app.Context, connID, clientID, cpConnID, cpClientID string) {
 	mustSet(ctx, ibc.ConnectionKey(connID), ibc.ConnectionEnd{
 		State:                ibc.StateOpen,
 		ClientID:             clientID,
-		CounterpartyConnID:   "connection-0",
-		CounterpartyClientID: "07-tendermint-0",
+		CounterpartyConnID:   cpConnID,
+		CounterpartyClientID: cpClientID,
 	})
 }
 
-func setChannel(ctx *app.Context, port, channel, connID string) {
+func setChannel(ctx *app.Context, port, channel, connID, cpChannel string) {
 	mustSet(ctx, ibc.ChannelKey(port, channel), ibc.ChannelEnd{
 		State:            ibc.StateOpen,
 		Ordering:         ibc.Unordered,
 		CounterpartyPort: port,
-		CounterpartyChan: channel,
+		CounterpartyChan: cpChannel,
 		ConnectionID:     connID,
 		Version:          "ics20-1",
 	})

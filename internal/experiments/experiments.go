@@ -12,6 +12,7 @@ import (
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/simconf"
 	"ibcbench/internal/tendermint/store"
+	"ibcbench/internal/workload"
 )
 
 // Options bounds an experiment's cost. The paper runs 20 executions per
@@ -22,6 +23,10 @@ type Options struct {
 	Rates []int
 	// Windows is the number of submission block-windows.
 	Windows int
+	// Workers bounds the sweep worker pool (0 = GOMAXPROCS, 1 = serial).
+	// Each (config, seed) execution is an independent deterministic
+	// simulation, so parallel and serial sweeps yield identical results.
+	Workers int
 }
 
 func (o Options) seeds() int {
@@ -68,26 +73,48 @@ func Tendermint(opt Options) TendermintResult {
 		Fig6: framework.Series{Name: "Fig6 Tendermint throughput", XLabel: "rate(rps)", YLabel: "TFPS"},
 		Fig7: framework.Series{Name: "Fig7 block interval", XLabel: "rate(rps)", YLabel: "seconds"},
 	}
+	type job struct{ rate, seed int }
+	type run struct {
+		tput     float64
+		hasTput  bool
+		interval float64
+		stats    workload.Stats
+		commit   int
+	}
+	var jobs []job
 	for _, rate := range rates {
+		for seed := 0; seed < opt.seeds(); seed++ {
+			jobs = append(jobs, job{rate, seed})
+		}
+	}
+	runs := ParallelMap(jobs, opt.Workers, func(j job) run {
+		env := framework.Setup(framework.SetupConfig{Seed: int64(1000*j.rate + j.seed)})
+		env.Workload.RunConstantRate(j.rate, windows)
+		// Run long enough for all windows even with stretched blocks.
+		deadline := time.Duration(windows+4) * simconf.MinBlockInterval * 16
+		runUntilHeight(env, int64(windows)+2, deadline)
+
+		st := env.Testbed.Pair.A.Store
+		committed, span := committedTransfers(st, int64(windows))
+		r := run{interval: meanInterval(st).Seconds(), stats: env.Workload.Stats(), commit: committed}
+		if span > 0 {
+			r.tput = float64(committed) / span.Seconds()
+			r.hasTput = true
+		}
+		return r
+	})
+	for i, rate := range rates {
 		var tput, intervals []float64
 		row := Table1Row{Rate: rate}
-		for seed := 0; seed < opt.seeds(); seed++ {
-			env := framework.Setup(framework.SetupConfig{Seed: int64(1000*rate + seed)})
-			env.Workload.RunConstantRate(rate, windows)
-			// Run long enough for all windows even with stretched blocks.
-			deadline := time.Duration(windows+4) * simconf.MinBlockInterval * 16
-			runUntilHeight(env, int64(windows)+2, deadline)
-
-			st := env.Testbed.Pair.A.Store
-			committed, span := committedTransfers(st, int64(windows))
-			if span > 0 {
-				tput = append(tput, float64(committed)/span.Seconds())
+		for s := 0; s < opt.seeds(); s++ {
+			r := runs[i*opt.seeds()+s]
+			if r.hasTput {
+				tput = append(tput, r.tput)
 			}
-			intervals = append(intervals, meanInterval(st).Seconds())
-			w := env.Workload.Stats()
-			row.Requested += w.Requested
-			row.Submitted += w.Submitted
-			row.Committed += committed
+			intervals = append(intervals, r.interval)
+			row.Requested += r.stats.Requested
+			row.Submitted += r.stats.Submitted
+			row.Committed += r.commit
 		}
 		res.Fig6.Add(float64(rate), metrics.Summarize(tput))
 		res.Fig7.Add(float64(rate), metrics.Summarize(intervals))
@@ -207,31 +234,53 @@ func RelayerSweep(opt Options, relayers int, lan bool) []RelayerPoint {
 	if windows <= 0 {
 		windows = 50
 	}
-	var out []RelayerPoint
+	type job struct{ rate, seed int }
+	type run struct {
+		counts    map[metrics.Status]int
+		tput      float64
+		hasTput   bool
+		redundant float64
+	}
+	var jobs []job
 	for _, rate := range rates {
+		for seed := 0; seed < opt.seeds(); seed++ {
+			jobs = append(jobs, job{rate, seed})
+		}
+	}
+	runs := ParallelMap(jobs, opt.Workers, func(j job) run {
+		env := framework.Setup(framework.SetupConfig{
+			Seed:       int64(7000*j.rate + 31*relayers + j.seed),
+			Relayers:   relayers,
+			LANLatency: lan,
+		})
+		env.Workload.RunConstantRate(j.rate, windows)
+		deadline := time.Duration(windows+8) * simconf.MinBlockInterval * 4
+		runUntilHeight(env, int64(windows), deadline)
+		now := env.Scheduler().Now()
+		r := run{counts: env.Tracker.CompletionCounts()}
+		if now > 0 {
+			r.tput = float64(r.counts[metrics.StatusCompleted]) / now.Seconds()
+			r.hasTput = true
+		}
+		for _, rs := range env.Relayers {
+			r.redundant += float64(rs.Stats().RedundantErrors)
+		}
+		return r
+	})
+	var out []RelayerPoint
+	for i, rate := range rates {
 		pt := RelayerPoint{Rate: rate, Relayers: relayers, LAN: lan}
 		var tputs []float64
-		for seed := 0; seed < opt.seeds(); seed++ {
-			env := framework.Setup(framework.SetupConfig{
-				Seed:       int64(7000*rate + 31*relayers + seed),
-				Relayers:   relayers,
-				LANLatency: lan,
-			})
-			env.Workload.RunConstantRate(rate, windows)
-			deadline := time.Duration(windows+8) * simconf.MinBlockInterval * 4
-			runUntilHeight(env, int64(windows), deadline)
-			now := env.Scheduler().Now()
-			counts := env.Tracker.CompletionCounts()
-			if now > 0 {
-				tputs = append(tputs, float64(counts[metrics.StatusCompleted])/now.Seconds())
+		for s := 0; s < opt.seeds(); s++ {
+			r := runs[i*opt.seeds()+s]
+			if r.hasTput {
+				tputs = append(tputs, r.tput)
 			}
-			pt.Completed += float64(counts[metrics.StatusCompleted])
-			pt.Partial += float64(counts[metrics.StatusPartial])
-			pt.Initiated += float64(counts[metrics.StatusInitiated])
-			pt.NotCommitted += float64(counts[metrics.StatusNotCommitted])
-			for _, rs := range env.Relayers {
-				pt.RedundantErrors += float64(rs.Stats().RedundantErrors)
-			}
+			pt.Completed += float64(r.counts[metrics.StatusCompleted])
+			pt.Partial += float64(r.counts[metrics.StatusPartial])
+			pt.Initiated += float64(r.counts[metrics.StatusInitiated])
+			pt.NotCommitted += float64(r.counts[metrics.StatusNotCommitted])
+			pt.RedundantErrors += r.redundant
 		}
 		n := float64(opt.seeds())
 		pt.Completed /= n

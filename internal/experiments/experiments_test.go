@@ -8,6 +8,12 @@ import (
 )
 
 func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		// The shape assertions (minutes-scale total, pull domination) are
+		// calibrated to the paper's 5,000-transfer burst; there is no
+		// smaller size with the same shape.
+		t.Skip("heavy single-block burst; run without -short")
+	}
 	res := Fig12(5000, 42)
 	if res.Completed != 5000 {
 		t.Fatalf("completed = %d of 5000", res.Completed)
@@ -30,6 +36,11 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		// The helps-then-inverts crossover only appears at the paper's
+		// full 5,000-transfer volume.
+		t.Skip("heavy strategy sweep; run without -short")
+	}
 	rows := Fig13(5000, []int{1, 16, 64}, 7)
 	byBlocks := map[int]Fig13Row{}
 	for _, r := range rows {
@@ -55,7 +66,14 @@ func TestFig13Shape(t *testing.T) {
 }
 
 func TestTendermintSweepShape(t *testing.T) {
-	res := Tendermint(Options{Seeds: 1, Rates: []int{500, 3000, 9000}, Windows: 8})
+	opt := Options{Seeds: 1, Rates: []int{500, 3000, 9000}, Windows: 8}
+	if testing.Short() {
+		// Drop the 9,000 rps point (stretched blocks dominate the cost)
+		// and shrink the windows; the rising-throughput shape survives.
+		opt.Rates = []int{500, 3000}
+		opt.Windows = 5
+	}
+	res := Tendermint(opt)
 	tput := map[int]float64{}
 	for i, x := range res.Fig6.X {
 		tput[int(x)] = res.Fig6.Y[i].Mean
@@ -67,7 +85,7 @@ func TestTendermintSweepShape(t *testing.T) {
 	for i, x := range res.Fig7.X {
 		iv[int(x)] = res.Fig7.Y[i].Mean
 	}
-	if iv[9000] <= iv[500]*1.5 {
+	if !testing.Short() && iv[9000] <= iv[500]*1.5 {
 		t.Fatalf("interval at 9000 rps (%f) should exceed %f", iv[9000], iv[500])
 	}
 	for _, row := range res.Table1 {

@@ -21,6 +21,7 @@ import (
 	"ibcbench/internal/netem"
 	"ibcbench/internal/relayer"
 	"ibcbench/internal/sim"
+	"ibcbench/internal/topo"
 	"ibcbench/internal/workload"
 )
 
@@ -56,34 +57,32 @@ type SetupConfig struct {
 }
 
 // Setup deploys the environment: two Gaia chains, a channel, relayers
-// and the workload connector bound to the first relayer's full node.
+// and the workload connector bound to the first relayer's full node. It
+// is the topo subsystem's TwoChain preset viewed through the paper's
+// two-chain API.
 func Setup(cfg SetupConfig) *Environment {
-	tcfg := chain.DefaultTestbed(cfg.Seed)
+	dcfg := topo.DeployConfig{
+		Seed:                cfg.Seed,
+		FullProofs:          cfg.FullProofs,
+		RelayersPerEdge:     cfg.Relayers,
+		ClearIntervalBlocks: cfg.ClearIntervalBlocks,
+		MaxMsgsPerTx:        cfg.MaxMsgsPerTx,
+	}
 	if cfg.LANLatency {
-		tcfg.Network = netem.DefaultLAN()
+		dcfg.Network = netem.DefaultLAN()
 	}
-	tcfg.FullProofs = cfg.FullProofs
-	tb := chain.NewTestbed(tcfg)
-	tracker := metrics.NewTracker()
-	env := &Environment{Testbed: tb, Tracker: tracker}
-	n := cfg.Relayers
-	if n <= 0 {
-		n = 1
+	d, err := topo.Deploy(topo.TwoChain(), dcfg)
+	if err != nil {
+		panic(fmt.Sprintf("framework: two-chain deploy: %v", err))
 	}
-	for i := 0; i < n; i++ {
-		rcfg := relayer.DefaultConfig(fmt.Sprintf("hermes-%d", i))
-		rcfg.Tracker = tracker
-		rcfg.ClearIntervalBlocks = cfg.ClearIntervalBlocks
-		if cfg.MaxMsgsPerTx > 0 {
-			rcfg.MaxMsgsPerTx = cfg.MaxMsgsPerTx
-		}
-		r := relayer.New(tb.Sched, tb.RNG, rcfg, tb.Pair)
-		r.Start()
-		env.Relayers = append(env.Relayers, r)
+	link := d.Links[0]
+	env := &Environment{
+		Testbed:  &chain.Testbed{Sched: d.Sched, Net: d.Net, RNG: d.RNG, Pair: link.Pair},
+		Relayers: link.Relayers,
+		Tracker:  link.Tracker,
+		Workload: link.Forward(),
 	}
-	env.Workload = workload.New(tb.Sched, tb.RNG, tb.Pair,
-		env.Relayers[0].EndpointRPC(tb.Pair.A.ID), tracker)
-	tb.Start()
+	d.Start()
 	return env
 }
 

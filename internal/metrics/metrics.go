@@ -183,6 +183,32 @@ func (t *Tracker) CompletionCounts() map[Status]int {
 	return out
 }
 
+// MergeCounts sums per-status tallies across trackers — the aggregation
+// step for per-edge trackers in multi-chain topologies.
+func MergeCounts(counts ...map[Status]int) map[Status]int {
+	out := map[Status]int{
+		StatusCompleted: 0, StatusPartial: 0,
+		StatusInitiated: 0, StatusNotCommitted: 0,
+	}
+	for _, c := range counts {
+		for s, n := range c {
+			out[s] += n
+		}
+	}
+	return out
+}
+
+// CompletedCount is a shortcut for the fully-completed tally.
+func (t *Tracker) CompletedCount() int {
+	n := 0
+	for key := range t.packets {
+		if t.StatusOf(key) == StatusCompleted {
+			n++
+		}
+	}
+	return n
+}
+
 // CompletedBetween counts packets fully completed in a time window.
 func (t *Tracker) CompletedBetween(from, to time.Duration) int {
 	n := 0

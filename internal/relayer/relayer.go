@@ -94,6 +94,7 @@ type endpoint struct {
 	chain    *chain.Chain
 	rpc      *rpc.Server
 	clientID string // client on this chain tracking the counterparty
+	channel  string // this side's channel of the relayed link
 	account  string
 
 	seq     uint64
@@ -187,8 +188,8 @@ func New(sched *sim.Scheduler, rng *sim.RNG, cfg Config, pair *chain.Pair) *Rela
 	// Hermes tolerates long query latencies against its local full node;
 	// the serial query queue regularly exceeds the default client timeout.
 	ncfg.ClientTimeout = 2 * time.Minute
-	r.a = &endpoint{chain: pair.A, rpc: pair.A.AddRPCNode(ncfg), clientID: pair.ClientOnA, account: acctA}
-	r.b = &endpoint{chain: pair.B, rpc: pair.B.AddRPCNode(ncfg), clientID: pair.ClientOnB, account: acctB}
+	r.a = &endpoint{chain: pair.A, rpc: pair.A.AddRPCNode(ncfg), clientID: pair.ClientOnA, channel: pair.ChannelAB, account: acctA}
+	r.b = &endpoint{chain: pair.B, rpc: pair.B.AddRPCNode(ncfg), clientID: pair.ClientOnB, channel: pair.ChannelBA, account: acctB}
 	return r
 }
 
@@ -253,7 +254,8 @@ func (r *Relayer) onFrame(src, dst *endpoint, frame *rpc.EventFrame) {
 
 // processBlockTxs is the Packet Command Worker handling one block batch.
 func (r *Relayer) processBlockTxs(src, dst *endpoint, height int64, blockTime time.Duration, txs []*store.TxInfo) {
-	// Message extraction: identify txs carrying work for our channel.
+	// Message extraction: identify txs carrying work for our channel (on
+	// a multi-channel chain, packets of other links are someone else's).
 	var (
 		recvTxs  []*store.TxInfo
 		ackTxs   []*store.TxInfo
@@ -265,7 +267,7 @@ func (r *Relayer) processBlockTxs(src, dst *endpoint, height int64, blockTime ti
 			continue
 		}
 		msgCount += len(t.Msgs)
-		hasSend, hasAckWrite := classify(info.Result.Events)
+		hasSend, hasAckWrite := r.classifyForChannel(info.Result.Events, src.channel)
 		if hasSend {
 			recvTxs = append(recvTxs, info)
 		}
@@ -281,14 +283,14 @@ func (r *Relayer) processBlockTxs(src, dst *endpoint, height int64, blockTime ti
 		now := r.sched.Now()
 		// Record extraction + confirmation for every packet seen.
 		for _, info := range recvTxs {
-			for _, p := range packetsFromEvents(info.Result.Events, "send_packet") {
+			for _, p := range packetsOnChannel(info.Result.Events, "send_packet", src.channel) {
 				key := r.keyOf(src, p)
 				r.track(key, metrics.StepTransferExtraction, now)
 				r.track(key, metrics.StepTransferConfirmation, now)
 			}
 		}
 		for _, info := range ackTxs {
-			for _, p := range packetsFromEvents(info.Result.Events, "write_acknowledgement") {
+			for _, p := range packetsOnChannel(info.Result.Events, "write_acknowledgement", src.channel) {
 				key := r.keyOf(dst, p) // packet's source is the counterparty
 				r.track(key, metrics.StepRecvExtraction, now)
 				// The event subscription confirms commitment too; the
@@ -359,7 +361,7 @@ func (r *Relayer) doPull(src *endpoint, attempt int, info *store.TxInfo, fn func
 // buildRecvBatch turns one source tx's send_packet events into
 // MsgRecvPackets destined for dst.
 func (r *Relayer) buildRecvBatch(src, dst *endpoint, height int64, info *store.TxInfo) {
-	packets := packetsFromEvents(info.Result.Events, "send_packet")
+	packets := packetsOnChannel(info.Result.Events, "send_packet", src.channel)
 	fresh := packets[:0]
 	for _, p := range packets {
 		id := pktID{src.chain.ID, p.SourceChannel, p.Sequence}
@@ -402,8 +404,8 @@ func (r *Relayer) buildRecvBatch(src, dst *endpoint, height int64, info *store.T
 // buildAckBatch turns write_acknowledgement events on src (the packet
 // destination) into MsgAcknowledgements for dst (the packet source).
 func (r *Relayer) buildAckBatch(src, dst *endpoint, height int64, info *store.TxInfo) {
-	packets := packetsFromEvents(info.Result.Events, "write_acknowledgement")
-	acks := acksFromEvents(info.Result.Events)
+	packets := packetsOnChannel(info.Result.Events, "write_acknowledgement", src.channel)
+	acks := acksFromEvents(info.Result.Events, src.channel)
 	fresh := packets[:0]
 	for _, p := range packets {
 		id := pktID{dst.chain.ID, p.SourceChannel, p.Sequence}
@@ -745,43 +747,82 @@ func (r *Relayer) keyOfMsg(dst *endpoint, m outMsg) metrics.PacketKey {
 	}
 }
 
-func classify(events []abci.Event) (hasSend, hasAckWrite bool) {
+// classifyForChannel reports whether a tx's events carry work for this
+// relayer's channel: send_packet matches on the packet's source channel,
+// write_acknowledgement on its destination channel (both live on the
+// chain emitting the event).
+func (r *Relayer) classifyForChannel(events []abci.Event, channel string) (hasSend, hasAckWrite bool) {
 	for _, ev := range events {
 		switch ev.Type {
 		case "send_packet":
-			hasSend = true
+			if !hasSend {
+				for _, p := range decodePackets(ev) {
+					if p.SourceChannel == channel {
+						hasSend = true
+						break
+					}
+				}
+			}
 		case "write_acknowledgement":
-			hasAckWrite = true
+			if !hasAckWrite {
+				for _, p := range decodePackets(ev) {
+					if p.DestChannel == channel {
+						hasAckWrite = true
+						break
+					}
+				}
+			}
 		}
 	}
 	return
 }
 
-// packetsFromEvents decodes packets from events of one type.
-func packetsFromEvents(events []abci.Event, typ string) []ibc.Packet {
+// decodePackets extracts the packet payload of one event (0 or 1 packets).
+func decodePackets(ev abci.Event) []ibc.Packet {
+	var p ibc.Packet
+	if err := json.Unmarshal([]byte(ev.Attributes["packet"]), &p); err != nil {
+		return nil
+	}
+	return []ibc.Packet{p}
+}
+
+// packetsOnChannel decodes packets of one event type that belong to the
+// given channel on the emitting chain (source channel for send_packet,
+// destination channel for write_acknowledgement).
+func packetsOnChannel(events []abci.Event, typ, channel string) []ibc.Packet {
 	var out []ibc.Packet
 	for _, ev := range events {
 		if ev.Type != typ {
 			continue
 		}
-		var p ibc.Packet
-		if err := json.Unmarshal([]byte(ev.Attributes["packet"]), &p); err == nil {
+		for _, p := range decodePackets(ev) {
+			switch typ {
+			case "write_acknowledgement":
+				if p.DestChannel != channel {
+					continue
+				}
+			default:
+				if p.SourceChannel != channel {
+					continue
+				}
+			}
 			out = append(out, p)
 		}
 	}
 	return out
 }
 
-// acksFromEvents maps sequence -> raw ack bytes.
-func acksFromEvents(events []abci.Event) map[uint64][]byte {
+// acksFromEvents maps sequence -> raw ack bytes for one channel.
+func acksFromEvents(events []abci.Event, channel string) map[uint64][]byte {
 	out := make(map[uint64][]byte)
 	for _, ev := range events {
 		if ev.Type != "write_acknowledgement" {
 			continue
 		}
-		var p ibc.Packet
-		if err := json.Unmarshal([]byte(ev.Attributes["packet"]), &p); err == nil {
-			out[p.Sequence] = []byte(ev.Attributes["ack"])
+		for _, p := range decodePackets(ev) {
+			if p.DestChannel == channel {
+				out[p.Sequence] = []byte(ev.Attributes["ack"])
+			}
 		}
 	}
 	return out

@@ -1,0 +1,188 @@
+// Deployment: instantiate a Topology on the shared discrete-event
+// scheduler — N chains, per-link relayers with their own full nodes, a
+// per-edge metrics tracker and per-edge workload generators.
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"ibcbench/internal/chain"
+	"ibcbench/internal/metrics"
+	"ibcbench/internal/netem"
+	"ibcbench/internal/relayer"
+	"ibcbench/internal/sim"
+	"ibcbench/internal/workload"
+)
+
+// DeployConfig parameterizes a topology deployment; zero values take the
+// paper's defaults (200 ms WAN, five validators, one relayer per edge).
+type DeployConfig struct {
+	Seed       int64
+	Network    netem.Config
+	Validators int
+	FullProofs bool
+	// RelayersPerEdge is the default relayer count for edges that don't
+	// override it in their EdgeSpec.
+	RelayersPerEdge int
+	// ClearIntervalBlocks / MaxMsgsPerTx forward to every relayer.
+	ClearIntervalBlocks int64
+	MaxMsgsPerTx        int
+}
+
+// Link is one deployed edge: the seeded channel pair, its relayers, its
+// event tracker and lazily created directional workload generators.
+type Link struct {
+	Index    int
+	Spec     EdgeSpec
+	Pair     *chain.Pair
+	Relayers []*relayer.Relayer
+	// Tracker aggregates packet lifecycles for this edge only; roll
+	// edges up with metrics.MergeCounts.
+	Tracker *metrics.Tracker
+
+	dep      *Deployment
+	fwd, rev *workload.Generator
+	// legGens are the dedicated generators of route legs that crossed
+	// this edge, kept for workload accounting.
+	legGens []*workload.Generator
+}
+
+// Forward returns (creating on first use) the generator submitting
+// transfers in the edge's A -> B direction.
+func (l *Link) Forward() *workload.Generator {
+	if l.fwd == nil {
+		l.fwd = l.newGenerator(l.Pair.A, l.Pair.B, l.Pair.ChannelAB, "f")
+	}
+	return l.fwd
+}
+
+// Reverse returns the B -> A generator.
+func (l *Link) Reverse() *workload.Generator {
+	if l.rev == nil {
+		l.rev = l.newGenerator(l.Pair.B, l.Pair.A, l.Pair.ChannelBA, "r")
+	}
+	return l.rev
+}
+
+func (l *Link) newGenerator(src, dst *chain.Chain, channel, dir string) *workload.Generator {
+	d := l.dep
+	g := workload.NewOnChannel(d.Sched, d.RNG, src, dst, channel,
+		l.Relayers[0].EndpointRPC(src.ID), l.Tracker)
+	// Namespace accounts per edge+direction: several generators can share
+	// one source chain (a hub) without sequence clashes.
+	g.AccountPrefix = fmt.Sprintf("user-e%d%s", l.Index, dir)
+	return g
+}
+
+// newRouteGenerator creates a dedicated generator for one route leg from
+// the given node across this link. Route legs never share a generator
+// with edge-rate traffic (or other legs), so the generator's PacketKeys
+// attribute the leg's packets exactly on a busy shared channel.
+func (l *Link) newRouteGenerator(from int) *workload.Generator {
+	d := l.dep
+	d.routeGens++
+	src, dst, channel := l.Pair.A, l.Pair.B, l.Pair.ChannelAB
+	if d.Chains[from] != l.Pair.A {
+		src, dst, channel = l.Pair.B, l.Pair.A, l.Pair.ChannelBA
+	}
+	g := workload.NewOnChannel(d.Sched, d.RNG, src, dst, channel,
+		l.Relayers[0].EndpointRPC(src.ID), l.Tracker)
+	g.AccountPrefix = fmt.Sprintf("route-%d", d.routeGens)
+	l.legGens = append(l.legGens, g)
+	return g
+}
+
+// Deployment is one instantiated topology.
+type Deployment struct {
+	Topology Topology
+	Sched    *sim.Scheduler
+	Net      *netem.Network
+	RNG      *sim.RNG
+	Chains   []*chain.Chain
+	Links    []*Link
+
+	// routeGens numbers route-leg generators for account namespacing.
+	routeGens int
+}
+
+// Deploy instantiates the topology: a shared scheduler/network, one chain
+// per node, a seeded IBC channel plus started relayers per edge.
+// Chains do not produce blocks until Start.
+func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Network.OneWayLatency == 0 {
+		cfg.Network = netem.DefaultWAN()
+	}
+	perEdge := cfg.RelayersPerEdge
+	if perEdge <= 0 {
+		perEdge = 1
+	}
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(cfg.Seed)
+	network := netem.New(sched, rng, cfg.Network)
+	d := &Deployment{Topology: t, Sched: sched, Net: network, RNG: rng}
+	for i, spec := range t.Chains {
+		vals := spec.Validators
+		if vals == 0 {
+			vals = cfg.Validators
+		}
+		d.Chains = append(d.Chains, chain.New(sched, network, chain.Config{
+			ChainID:    t.ChainID(i),
+			Validators: vals,
+			FullProofs: cfg.FullProofs,
+		}))
+	}
+	for i, e := range t.Edges {
+		l := &Link{
+			Index:   i,
+			Spec:    e,
+			Pair:    chain.Link(d.Chains[e.A], d.Chains[e.B]),
+			Tracker: metrics.NewTracker(),
+			dep:     d,
+		}
+		n := e.Relayers
+		if n <= 0 {
+			n = perEdge
+		}
+		for j := 0; j < n; j++ {
+			rcfg := relayer.DefaultConfig(fmt.Sprintf("hermes-e%d-%d", i, j))
+			rcfg.Tracker = l.Tracker
+			rcfg.ClearIntervalBlocks = cfg.ClearIntervalBlocks
+			if cfg.MaxMsgsPerTx > 0 {
+				rcfg.MaxMsgsPerTx = cfg.MaxMsgsPerTx
+			}
+			r := relayer.New(sched, rng, rcfg, l.Pair)
+			r.Start()
+			l.Relayers = append(l.Relayers, r)
+		}
+		d.Links = append(d.Links, l)
+	}
+	return d, nil
+}
+
+// Start begins block production on every chain.
+func (d *Deployment) Start() {
+	for _, c := range d.Chains {
+		c.Start()
+	}
+}
+
+// Run drives the simulation to the virtual deadline.
+func (d *Deployment) Run(until time.Duration) error {
+	return d.Sched.RunUntil(until)
+}
+
+// Chain returns the deployed chain at node index i.
+func (d *Deployment) Chain(i int) *chain.Chain { return d.Chains[i] }
+
+// LinkBetween returns the deployed link between two node indices.
+func (d *Deployment) LinkBetween(a, b int) (*Link, bool) {
+	idx, ok := d.Topology.EdgeBetween(a, b)
+	if !ok {
+		return nil, false
+	}
+	return d.Links[idx], true
+}

@@ -1,0 +1,259 @@
+// Scenario: a topology bundled with a workload mix — constant per-edge
+// transfer rates plus multi-hop routes executed as sequential transfers —
+// and run options, producing per-edge and aggregate reports.
+package topo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ibcbench/internal/metrics"
+	"ibcbench/internal/relayer"
+	"ibcbench/internal/sim"
+	"ibcbench/internal/simconf"
+	"ibcbench/internal/workload"
+)
+
+// Route is one multi-hop transfer flow: Transfers tokens moved along the
+// node path, each leg submitted once the previous leg's transfers have
+// fully completed on its edge (IBC has no native packet forwarding; the
+// paper's tool and real deployments chain ICS-20 transfers the same way).
+type Route struct {
+	// Path is the node sequence; consecutive nodes must share an edge.
+	Path []int
+	// Transfers is the batch size moved along the path.
+	Transfers int
+}
+
+// Scenario bundles everything one experiment execution needs.
+type Scenario struct {
+	Name     string
+	Topology Topology
+	Deploy   DeployConfig
+	// EdgeRates maps edge index -> constant input rate (requests/second,
+	// A -> B direction) sustained for Windows block windows.
+	EdgeRates map[int]int
+	// Windows is the number of constant-rate submission windows.
+	Windows int
+	// Routes are multi-hop flows started at scenario begin.
+	Routes []Route
+	// Until is the virtual run deadline (0 = derived from the workload).
+	Until time.Duration
+}
+
+// EdgeReport is the per-edge slice of a scenario result.
+type EdgeReport struct {
+	Edge       int
+	From, To   string
+	Completion map[metrics.Status]int
+	Throughput float64 // completed transfers per virtual second on this edge
+	Workload   workload.Stats
+	Relayers   []relayer.Stats
+}
+
+// Result aggregates one scenario execution.
+type Result struct {
+	Name     string
+	Seed     int64
+	Duration time.Duration
+	Edges    []EdgeReport
+	// Total merges the per-edge completion counts.
+	Total map[metrics.Status]int
+	// Throughput is aggregate completed transfers per virtual second.
+	Throughput float64
+	// RoutesCompleted counts routes whose every leg fully completed.
+	RoutesCompleted int
+}
+
+// routeRun tracks one in-flight multi-hop route.
+type routeRun struct {
+	route Route
+	hop   int // current leg index (Path[hop] -> Path[hop+1])
+	done  bool
+}
+
+// Run deploys the scenario's topology and drives the workload mix to the
+// deadline, returning per-edge and aggregate reports.
+func (s Scenario) Run(seed int64) (*Result, error) {
+	d, err := Deploy(s.Topology, s.withSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	windows := s.Windows
+	if windows <= 0 {
+		windows = 10
+	}
+	for _, edge := range sortedKeys(s.EdgeRates) {
+		if edge < 0 || edge >= len(d.Links) {
+			return nil, fmt.Errorf("topo: EdgeRates references edge %d of %d", edge, len(d.Links))
+		}
+		d.Links[edge].Forward().RunConstantRate(s.EdgeRates[edge], windows)
+	}
+	runs := make([]*routeRun, 0, len(s.Routes))
+	for _, rt := range s.Routes {
+		if err := s.validateRoute(rt); err != nil {
+			return nil, err
+		}
+		rr := &routeRun{route: rt}
+		runs = append(runs, rr)
+		d.Sched.At(time.Millisecond, func() { d.startLeg(rr) })
+	}
+	d.Start()
+	if err := d.Run(s.deadline(windows)); err != nil {
+		return nil, err
+	}
+	return s.analyze(d, seed, runs), nil
+}
+
+func (s Scenario) withSeed(seed int64) DeployConfig {
+	cfg := s.Deploy
+	cfg.Seed = seed
+	return cfg
+}
+
+func (s Scenario) validateRoute(rt Route) error {
+	if len(rt.Path) < 2 {
+		return fmt.Errorf("topo: route path %v too short", rt.Path)
+	}
+	if rt.Transfers <= 0 {
+		return fmt.Errorf("topo: route %v has no transfers", rt.Path)
+	}
+	for i := 0; i+1 < len(rt.Path); i++ {
+		if _, ok := s.Topology.EdgeBetween(rt.Path[i], rt.Path[i+1]); !ok {
+			return fmt.Errorf("topo: route %v hops %d->%d without an edge",
+				rt.Path, rt.Path[i], rt.Path[i+1])
+		}
+	}
+	return nil
+}
+
+// deadline derives a generous virtual deadline covering the constant-rate
+// windows and every route leg's end-to-end latency.
+func (s Scenario) deadline(windows int) time.Duration {
+	if s.Until > 0 {
+		return s.Until
+	}
+	d := time.Duration(windows+8) * simconf.MinBlockInterval * 4
+	for _, rt := range s.Routes {
+		// ~12 block windows per leg bounds one ack'd transfer comfortably.
+		legs := time.Duration(len(rt.Path)-1) * 12 * simconf.MinBlockInterval * 2
+		if legs > d {
+			d = legs
+		}
+	}
+	return d
+}
+
+// startLeg submits one route leg on a dedicated generator and polls the
+// edge tracker until every one of the leg's own packets completes, then
+// advances to the next hop. Attribution goes through the generator's
+// PacketKeys, so concurrent edge-rate traffic on the same channel never
+// advances a leg early.
+func (d *Deployment) startLeg(rr *routeRun) {
+	from, to := rr.route.Path[rr.hop], rr.route.Path[rr.hop+1]
+	link, _ := d.LinkBetween(from, to)
+	gen := link.newRouteGenerator(from)
+	gen.SubmitBatch(rr.route.Transfers)
+	d.Sched.Tick(simconf.MinBlockInterval, func(t *sim.Ticker) {
+		completed := 0
+		for _, key := range gen.PacketKeys() {
+			if link.Tracker.StatusOf(key) == metrics.StatusCompleted {
+				completed++
+			}
+		}
+		if completed < rr.route.Transfers {
+			return
+		}
+		t.Cancel()
+		rr.hop++
+		if rr.hop+1 >= len(rr.route.Path) {
+			rr.done = true
+			return
+		}
+		d.startLeg(rr)
+	})
+}
+
+// sortedKeys returns map keys in ascending order for deterministic
+// iteration.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func (s Scenario) analyze(d *Deployment, seed int64, runs []*routeRun) *Result {
+	now := d.Sched.Now()
+	res := &Result{
+		Name:     s.Name,
+		Seed:     seed,
+		Duration: now,
+	}
+	var perEdge []map[metrics.Status]int
+	for _, l := range d.Links {
+		counts := l.Tracker.CompletionCounts()
+		perEdge = append(perEdge, counts)
+		rep := EdgeReport{
+			Edge:       l.Index,
+			From:       l.Pair.A.ID,
+			To:         l.Pair.B.ID,
+			Completion: counts,
+		}
+		if now > 0 {
+			rep.Throughput = float64(counts[metrics.StatusCompleted]) / now.Seconds()
+		}
+		gens := l.legGens
+		if l.fwd != nil {
+			gens = append([]*workload.Generator{l.fwd}, gens...)
+		}
+		if l.rev != nil {
+			gens = append([]*workload.Generator{l.rev}, gens...)
+		}
+		for _, g := range gens {
+			st := g.Stats()
+			rep.Workload.Requested += st.Requested
+			rep.Workload.Submitted += st.Submitted
+			rep.Workload.Failed += st.Failed
+		}
+		for _, r := range l.Relayers {
+			rep.Relayers = append(rep.Relayers, r.Stats())
+		}
+		res.Edges = append(res.Edges, rep)
+	}
+	res.Total = metrics.MergeCounts(perEdge...)
+	if now > 0 {
+		res.Throughput = float64(res.Total[metrics.StatusCompleted]) / now.Seconds()
+	}
+	for _, rr := range runs {
+		if rr.done {
+			res.RoutesCompleted++
+		}
+	}
+	return res
+}
+
+// Render writes the result as an aligned per-edge table plus totals.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== scenario %s (seed %d) ==\n", r.Name, r.Seed)
+	fmt.Fprintf(w, "duration: %v\n", r.Duration)
+	fmt.Fprintf(w, "%-6s %-16s %-10s %-9s %-10s %-13s %-8s\n",
+		"edge", "link", "completed", "partial", "initiated", "notcommitted", "TFPS")
+	for _, e := range r.Edges {
+		fmt.Fprintf(w, "%-6d %-16s %-10d %-9d %-10d %-13d %-8.2f\n",
+			e.Edge, e.From+"~"+e.To,
+			e.Completion[metrics.StatusCompleted], e.Completion[metrics.StatusPartial],
+			e.Completion[metrics.StatusInitiated], e.Completion[metrics.StatusNotCommitted],
+			e.Throughput)
+	}
+	fmt.Fprintf(w, "total: completed=%d partial=%d initiated=%d notcommitted=%d (%.2f TFPS)\n",
+		r.Total[metrics.StatusCompleted], r.Total[metrics.StatusPartial],
+		r.Total[metrics.StatusInitiated], r.Total[metrics.StatusNotCommitted], r.Throughput)
+	if r.RoutesCompleted > 0 {
+		fmt.Fprintf(w, "routes completed: %d\n", r.RoutesCompleted)
+	}
+}

@@ -53,6 +53,13 @@ type Generator struct {
 	MsgsPerTx int
 	// TimeoutBlocks sets packet timeout height = dest height + this.
 	TimeoutBlocks int64
+	// SourcePort/SourceChannel address the IBC channel transfers leave
+	// through (per-edge on multi-channel chains).
+	SourcePort    string
+	SourceChannel string
+	// AccountPrefix namespaces this generator's user accounts so several
+	// generators can share one source chain without sequence clashes.
+	AccountPrefix string
 
 	accounts []string
 	nextSeq  map[string]uint64
@@ -69,27 +76,43 @@ type Generator struct {
 	// commit time.
 	broadcastAt map[types.Hash]time.Duration
 
+	// keys accumulates, in commit order, the packet keys this generator's
+	// transfers produced — the attribution handle for callers that must
+	// follow exactly their own packets on a shared channel.
+	keys []metrics.PacketKey
+
 	stats Stats
 }
 
 // New creates a generator submitting to the given RPC node of the source
-// chain (the relayer's full node, as in the paper's tool).
+// chain (the relayer's full node, as in the paper's tool). Transfers run
+// in the pair's A -> B direction.
 func New(sched *sim.Scheduler, rng *sim.RNG, pair *chain.Pair, node *rpc.Server, tracker *metrics.Tracker) *Generator {
+	return NewOnChannel(sched, rng, pair.A, pair.B, pair.ChannelAB, node, tracker)
+}
+
+// NewOnChannel creates a generator submitting transfers from src to dst
+// over the given source-side channel — the building block for per-edge
+// workloads on arbitrary topologies.
+func NewOnChannel(sched *sim.Scheduler, rng *sim.RNG, src, dst *chain.Chain, sourceChannel string, node *rpc.Server, tracker *metrics.Tracker) *Generator {
 	g := &Generator{
 		sched:         sched,
 		rng:           rng,
-		source:        pair.A,
-		destTop:       func() int64 { return pair.B.Store.Height() },
+		source:        src,
+		destTop:       func() int64 { return dst.Store.Height() },
 		rpcNode:       node,
-		host:          "workload/driver",
+		host:          netem.Host("workload/driver-" + src.ID + "-" + sourceChannel),
 		tracker:       tracker,
 		MsgsPerTx:     simconf.RelayerMaxMsgsPerTx,
 		TimeoutBlocks: 10000,
+		SourcePort:    "transfer",
+		SourceChannel: sourceChannel,
+		AccountPrefix: "user",
 		nextSeq:       make(map[string]uint64),
 		broadcastAt:   make(map[types.Hash]time.Duration),
 	}
 	if tracker != nil {
-		pair.A.Engine.OnCommit(func(cb *store.CommittedBlock) { g.recordBroadcasts(pair.A.ID, cb) })
+		src.Engine.OnCommit(func(cb *store.CommittedBlock) { g.recordBroadcasts(src.ID, cb) })
 	}
 	return g
 }
@@ -114,6 +137,7 @@ func (g *Generator) recordBroadcasts(chainID string, cb *store.CommittedBlock) {
 			key := metrics.PacketKey{
 				SrcChain: chainID, Channel: p.SourceChannel, Sequence: p.Sequence,
 			}
+			g.keys = append(g.keys, key)
 			g.tracker.Record(key, metrics.StepTransferBroadcast, at)
 			// The Analysis module reads commitment directly from chain
 			// data (the Cross-chain Data Connector), so confirmation is
@@ -126,10 +150,14 @@ func (g *Generator) recordBroadcasts(chainID string, cb *store.CommittedBlock) {
 // Stats reports submission outcomes so far.
 func (g *Generator) Stats() Stats { return g.stats }
 
+// PacketKeys returns, in commit order, the keys of every packet this
+// generator's committed transfers produced (requires a tracker).
+func (g *Generator) PacketKeys() []metrics.PacketKey { return g.keys }
+
 // EnsureAccounts pre-funds n workload accounts on the source chain.
 func (g *Generator) EnsureAccounts(n int) {
 	for len(g.accounts) < n {
-		name := fmt.Sprintf("user-%04d", len(g.accounts))
+		name := fmt.Sprintf("%s-%04d", g.AccountPrefix, len(g.accounts))
 		g.source.App.CreateAccount(name, app.Coin{Denom: "uatom", Amount: 1 << 50})
 		g.accounts = append(g.accounts, name)
 		g.nextSeq[name] = 0
@@ -174,8 +202,8 @@ func (g *Generator) submitTx(account string, n int, attempt int) {
 			Sender:        account,
 			Receiver:      "receiver-" + account,
 			Token:         app.Coin{Denom: "uatom", Amount: 1},
-			SourcePort:    "transfer",
-			SourceChannel: "channel-0",
+			SourcePort:    g.SourcePort,
+			SourceChannel: g.SourceChannel,
 			TimeoutHeight: timeoutHeight,
 			Nonce:         g.nonce,
 		}
@@ -264,8 +292,8 @@ func (g *Generator) InjectDirect(transfers int) {
 				Sender:        account,
 				Receiver:      "receiver-" + account,
 				Token:         app.Coin{Denom: "uatom", Amount: 1},
-				SourcePort:    "transfer",
-				SourceChannel: "channel-0",
+				SourcePort:    g.SourcePort,
+				SourceChannel: g.SourceChannel,
 				TimeoutHeight: timeoutHeight,
 				Nonce:         g.nonce,
 			}
