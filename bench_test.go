@@ -7,10 +7,19 @@
 package ibcbench_test
 
 import (
+	"encoding/json"
+	"fmt"
 	"testing"
 
+	"ibcbench/internal/abci"
+	"ibcbench/internal/app"
+	"ibcbench/internal/eventindex"
 	"ibcbench/internal/experiments"
+	"ibcbench/internal/ibc"
+	"ibcbench/internal/merkle"
 	"ibcbench/internal/metrics"
+	"ibcbench/internal/tendermint/store"
+	"ibcbench/internal/topo"
 )
 
 // benchOpts keeps bench iterations affordable; `cmd/ibcbench` runs the
@@ -132,6 +141,142 @@ func BenchmarkWebSocketLimit(b *testing.B) {
 		b.ReportMetric(100*float64(res.Completed)/total, "completed-pct")
 		b.ReportMetric(100*float64(res.Stuck)/total, "stuck-pct")
 	}
+}
+
+// --- hot-path benchmarks (shared event index + incremental commits) ----------
+
+// benchBlock assembles one committed block's TxInfos: txs transactions,
+// each carrying msgs send_packet events round-robined over nChans channels.
+func benchBlock(txs, msgs, nChans int) []*store.TxInfo {
+	infos := make([]*store.TxInfo, txs)
+	for i := range infos {
+		events := make([]abci.Event, msgs)
+		m := make([]app.Msg, msgs)
+		for j := range events {
+			p := ibc.Packet{
+				SourcePort:    "transfer",
+				SourceChannel: fmt.Sprintf("channel-%d", (i+j)%nChans),
+				DestPort:      "transfer",
+				DestChannel:   "channel-9",
+				Sequence:      uint64(i*msgs + j + 1),
+			}
+			raw, _ := json.Marshal(p)
+			events[j] = abci.Event{Type: "send_packet", Attributes: map[string]string{"packet": string(raw)}}
+			m[j] = ibc.MsgRecvPacket{Packet: p}
+		}
+		infos[i] = &store.TxInfo{
+			Height: 1,
+			Index:  i,
+			Tx:     app.NewTx(fmt.Sprintf("signer-%d", i), 0, uint64(i), m),
+			Result: abci.TxResult{Events: events},
+		}
+	}
+	return infos
+}
+
+// BenchmarkEventDecode measures the single shared decode pass over one
+// block against the pre-index behaviour of K relayer endpoints each
+// re-decoding the block for their own channel.
+func BenchmarkEventDecode(b *testing.B) {
+	infos := benchBlock(20, 100, 4)
+	b.Run("shared-index-1pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			be := eventindex.Decode(1, 0, infos)
+			if len(be.Txs) != 20 {
+				b.Fatal("decode lost txs")
+			}
+		}
+	})
+	for _, k := range []int{4, 8} {
+		b.Run(fmt.Sprintf("per-relayer-%dpasses", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < k; r++ {
+					eventindex.Decode(1, 0, infos)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRelayerHubScan runs a full hub scenario per iteration; with
+// the shared index its host-side scan cost is O(1) in relayer count, so
+// doubling relayers must not double the event-decode work.
+func BenchmarkRelayerHubScan(b *testing.B) {
+	for _, perEdge := range []int{1, 2} {
+		b.Run(fmt.Sprintf("relayers-per-edge-%d", perEdge), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := topo.Scenario{
+					Name:      "bench-hub",
+					Topology:  topo.Hub(3),
+					Deploy:    topo.DeployConfig{RelayersPerEdge: perEdge},
+					EdgeRates: map[int]int{0: 10, 1: 10, 2: 10},
+					Windows:   3,
+				}
+				res, err := s.Run(int64(17 + i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Total[metrics.StatusCompleted]), "completed")
+			}
+		})
+	}
+}
+
+// BenchmarkStateCommit measures block commits in full-proof mode: the
+// incremental path folds only the block's dirty keys into cached leaf
+// hashes, versus the old full merkle.NewTree rebuild over the state map.
+func BenchmarkStateCommit(b *testing.B) {
+	const preload, dirtyPerBlock = 4096, 32
+	seedState := func(s *app.State) {
+		for i := 0; i < preload; i++ {
+			s.Set(fmt.Sprintf("key/%05d", i), []byte(fmt.Sprintf("val-%d", i)))
+		}
+		s.CommitTx()
+		s.Commit(1)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		s := app.NewState(true)
+		seedState(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for d := 0; d < dirtyPerBlock; d++ {
+				s.Set(fmt.Sprintf("key/%05d", (i*dirtyPerBlock+d*7)%preload), []byte(fmt.Sprintf("v%d", i)))
+			}
+			s.CommitTx()
+			s.Commit(int64(i + 2))
+		}
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		// The pre-refactor cost model: rebuild the whole tree per commit.
+		kv := make(map[string][]byte, preload)
+		for i := 0; i < preload; i++ {
+			kv[fmt.Sprintf("key/%05d", i)] = []byte(fmt.Sprintf("val-%d", i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for d := 0; d < dirtyPerBlock; d++ {
+				kv[fmt.Sprintf("key/%05d", (i*dirtyPerBlock+d*7)%preload)] = []byte(fmt.Sprintf("v%d", i))
+			}
+			if merkle.NewTree(kv).Root() == (merkle.Hash{}) {
+				b.Fatal("zero root")
+			}
+		}
+	})
+	b.Run("incremental-with-inserts", func(b *testing.B) {
+		s := app.NewState(true)
+		seedState(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A block's realistic mix: new packet commitments plus balance
+			// updates.
+			for d := 0; d < dirtyPerBlock/2; d++ {
+				s.Set(fmt.Sprintf("commitments/%d/%d", i, d), []byte("c"))
+				s.Set(fmt.Sprintf("key/%05d", (i+d*11)%preload), []byte(fmt.Sprintf("v%d", i)))
+			}
+			s.CommitTx()
+			s.Commit(int64(i + 2))
+		}
+	})
 }
 
 var _ = metrics.StatusCompleted

@@ -9,12 +9,16 @@
 //	ibcbench -experiment fig8 -seeds 5  # one artifact
 //	ibcbench -experiment fig12 -transfers 5000
 //	ibcbench -experiment topo -topology hub:4 -rate 20
+//	ibcbench -experiment topo -out results.json   # persist results as JSON
 //
 // Sweeps fan (config, seed) executions out over a worker pool
 // (-workers, default GOMAXPROCS); results are identical to serial runs.
+// With -out, every experiment that ran dumps its result structs to one
+// JSON document for cross-PR regression tracking of reproduced figures.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,15 +45,23 @@ func run(args []string) error {
 		topology  = fs.String("topology", "hub:4", "topo experiment graph: two|line:n|hub:n|mesh:n")
 		rate      = fs.Int("rate", 20, "per-edge input rate (rps) for the topo experiment")
 		workers   = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+		out       = fs.String("out", "", "write every experiment's result as JSON to this file (cross-PR regression tracking)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
+	report := map[string]any{}
+	record := func(key string, v any) {
+		if *out != "" {
+			report[key] = v
+		}
+	}
 
 	if want("fig6") || want("fig7") || want("table1") {
 		res := experiments.Tendermint(opt)
+		record("tendermint", res)
 		res.Fig6.Render(os.Stdout)
 		fmt.Println()
 		res.Fig7.Render(os.Stdout)
@@ -80,6 +92,7 @@ func run(args []string) error {
 			continue
 		}
 		pts := experiments.RelayerSweep(opt, cfg.relayers, cfg.lan)
+		record(cfg.name, pts)
 		fmt.Printf("# %s: %d relayer(s), lan=%v (Figs. 8-11)\n", cfg.name, cfg.relayers, cfg.lan)
 		fmt.Printf("%-8s %-10s %-11s %-9s %-10s %-13s %-10s\n",
 			"rate", "TFPS", "completed", "partial", "initiated", "notcommitted", "redundant")
@@ -92,6 +105,7 @@ func run(args []string) error {
 	}
 	if want("fig12") {
 		res := experiments.Fig12(*transfers, *seed)
+		record("fig12", res)
 		fmt.Printf("# Fig12: %d transfers in one block — 13-step breakdown\n", res.Transfers)
 		fmt.Printf("%-28s %-12s %-12s\n", "step", "first", "last")
 		for _, s := range res.Steps {
@@ -106,6 +120,7 @@ func run(args []string) error {
 	}
 	if want("fig13") {
 		rows := experiments.Fig13(*transfers, nil, *seed)
+		record("fig13", rows)
 		fmt.Printf("# Fig13: %d transfers, submission spread over N blocks\n", *transfers)
 		fmt.Printf("%-10s %-14s %-10s\n", "blocks", "completion", "completed")
 		for _, r := range rows {
@@ -115,6 +130,7 @@ func run(args []string) error {
 	}
 	if want("gas") {
 		rows := experiments.GasTable(*seed)
+		record("gas", rows)
 		fmt.Println("# Gas per 100-message transaction class (§IV-A)")
 		fmt.Printf("%-22s %-12s %-12s\n", "class", "measured", "paper")
 		for _, r := range rows {
@@ -127,11 +143,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		record("topo", res)
 		res.Render(os.Stdout)
 		fmt.Println()
 	}
 	if want("ws") {
 		res := experiments.WebSocketLimit(*seed, 1000, 60)
+		record("ws", res)
 		fmt.Println("# WebSocket frame-limit experiment (§V)")
 		fmt.Printf("transfers=%d framesLost=%d\n", res.Transfers, res.FramesLost)
 		fmt.Printf("completed: %d (%.1f%%)  timed out: %d (%.1f%%)  stuck: %d (%.1f%%)\n",
@@ -139,6 +157,22 @@ func run(args []string) error {
 			int(res.TimedOut), pct(int(res.TimedOut), res.Transfers),
 			res.Stuck, pct(res.Stuck, res.Transfers))
 		fmt.Println("paper: 2.5% completed / 15.7% timed out / 81.8% stuck")
+	}
+	if *out != "" {
+		report["args"] = map[string]any{
+			"experiment": *exp, "seeds": *seeds, "windows": *windows,
+			"transfers": *transfers, "seed": *seed, "topology": *topology,
+			"rate": *rate, "workers": *workers,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal results: %w", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
 	}
 	return nil
 }

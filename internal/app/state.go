@@ -38,6 +38,11 @@ type State struct {
 	// (see Config.FullProofs in the chain package).
 	fullProofs bool
 
+	// live is the incrementally-maintained merkle tree over the current
+	// data (full-proof mode only): Commit folds the block's dirty keys
+	// into it instead of rebuilding the whole tree each height.
+	live *merkle.IncTree
+
 	// treeCache caches snapshot trees by height (small LRU).
 	treeCache map[int64]*merkle.Tree
 	treeOrder []int64
@@ -55,7 +60,7 @@ const maxCachedTrees = 4
 
 // NewState returns an empty store.
 func NewState(fullProofs bool) *State {
-	return &State{
+	s := &State{
 		data:         make(map[string][]byte),
 		staged:       make(map[string]*[]byte),
 		blockChanged: make(map[string]*[]byte),
@@ -63,6 +68,10 @@ func NewState(fullProofs bool) *State {
 		fullProofs:   fullProofs,
 		treeCache:    make(map[int64]*merkle.Tree),
 	}
+	if fullProofs {
+		s.live = merkle.NewIncTree()
+	}
+	return s
 }
 
 // Get reads a key, observing staged (in-tx) writes first.
@@ -123,7 +132,19 @@ func (s *State) AbortTx() {
 func (s *State) Commit(height int64) merkle.Hash {
 	s.AbortTx()
 	if s.fullProofs {
-		s.root = merkle.NewTree(s.data).Root()
+		// Incremental commit: fold only the block's dirty keys into the
+		// cached leaf hashes. The root is identical to a full
+		// merkle.NewTree(s.data) rebuild (golden-root tests pin this)
+		// at O(dirty) cost instead of O(n) re-hashing.
+		edits := make([]merkle.Edit, 0, len(s.blockChanged))
+		for k := range s.blockChanged {
+			if v, ok := s.data[k]; ok {
+				edits = append(edits, merkle.Edit{Key: k, Value: v})
+			} else {
+				edits = append(edits, merkle.Edit{Key: k, Delete: true})
+			}
+		}
+		s.root = s.live.Apply(edits)
 	} else {
 		// Chain the sorted block changes onto the previous root.
 		keys := make([]string, 0, len(s.blockChanged))
@@ -210,11 +231,19 @@ func (s *State) TreeAt(height int64) (*merkle.Tree, error) {
 	if t, ok := s.treeCache[height]; ok {
 		return t, nil
 	}
-	snap, err := s.snapshotAt(height)
-	if err != nil {
-		return nil, err
+	var t *merkle.Tree
+	if height > 0 && height == s.Version() {
+		// The live incremental tree already holds this height: snapshot
+		// it (hash moves only) instead of reconstructing and re-hashing
+		// the whole key space.
+		t = s.live.Snapshot()
+	} else {
+		snap, err := s.snapshotAt(height)
+		if err != nil {
+			return nil, err
+		}
+		t = merkle.NewTree(snap)
 	}
-	t := merkle.NewTree(snap)
 	if got, want := t.Root(), mustRoot(s, height); got != want {
 		return nil, fmt.Errorf("state: reconstructed root mismatch at height %d", height)
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ibcbench/internal/app"
+	"ibcbench/internal/eventindex"
 	"ibcbench/internal/ibc"
 	"ibcbench/internal/ibc/transfer"
 	"ibcbench/internal/netem"
@@ -45,6 +46,9 @@ type Chain struct {
 	Store    *store.Store
 	Engine   *consensus.Engine
 	RPC      *rpc.Server // primary full node
+	// Events is the chain's shared event index: one decode pass per
+	// committed block, consumed by every RPC node's subscribers.
+	Events *eventindex.Index
 
 	sched    *sim.Scheduler
 	network  *netem.Network
@@ -81,9 +85,21 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 		Pool:     pool,
 		Store:    stor,
 		Engine:   engine,
+		Events:   eventindex.New(cfg.ChainID),
 		sched:    sched,
 		network:  network,
 	}
+	// The index hook is registered before any RPC node's PublishBlock, so
+	// commit-hook ordering guarantees the single decode pass has run by
+	// the time frames are assembled for subscribers.
+	engine.OnCommit(func(cb *store.CommittedBlock) {
+		infos, err := stor.TxsAtHeight(cb.Block.Header.Height)
+		if err != nil {
+			panic(fmt.Sprintf("chain %s: committed block %d missing from store: %v",
+				cfg.ChainID, cb.Block.Header.Height, err))
+		}
+		c.Events.IndexTxs(cb.Block.Header.Height, cb.Block.Header.Time, infos)
+	})
 	c.RPC = c.newRPCNode(engine.PrimaryHost(), rcfg)
 	return c
 }
@@ -91,7 +107,7 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 // newRPCNode creates an RPC server backed by this chain's state.
 func (c *Chain) newRPCNode(host netem.Host, cfg rpc.Config) *rpc.Server {
 	srv := rpc.New(c.sched, c.network, host, cfg, c.Store, c.Pool,
-		app.TxQueryCost, app.EventFrameBytes, c.App.AccountSequence, app.MsgCount)
+		app.TxQueryCost, app.EventFrameBytes, c.App.AccountSequence, app.MsgCount, c.Events.At)
 	c.Engine.OnCommit(srv.PublishBlock)
 	return srv
 }

@@ -1,0 +1,195 @@
+package merkle
+
+import "sort"
+
+// Edit is one key's net change in a block commit.
+type Edit struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// IncTree is the incrementally-maintained variant of Tree used for the
+// live application state: it keeps the sorted leaf array and every inner
+// level cached between commits and re-hashes only what a block's dirty
+// keys invalidate, while committing to exactly the same root as
+// NewTree(snapshot) would.
+//
+//   - Value-only blocks re-hash d leaves plus their O(d log n) root
+//     paths.
+//   - Inserts/deletes shift the sorted suffix: unchanged leaves keep
+//     their cached digests (a move, not a re-hash) and only the inner
+//     nodes covering the shifted range are recomputed.
+//
+// This replaces the per-commit full rebuild (n leaf hashes over the
+// whole key-value map plus a sort of every key), the dominant cost of
+// block commits in full-proof mode.
+type IncTree struct {
+	keys   []string
+	values [][]byte
+	leaves []Hash
+	levels [][]Hash // levels[0] = leaves padded to a power of two
+}
+
+// NewIncTree returns an empty incremental tree (root = empty-tree root).
+func NewIncTree() *IncTree { return &IncTree{} }
+
+// Len reports the number of live leaves.
+func (t *IncTree) Len() int { return len(t.keys) }
+
+// Root returns the current commitment.
+func (t *IncTree) Root() Hash {
+	if len(t.levels) == 0 {
+		return emptyRoot
+	}
+	return t.levels[len(t.levels)-1][0]
+}
+
+// Apply folds one block's dirty keys into the tree and returns the new
+// root. Edits are applied in key order regardless of input order, so map
+// iteration order never influences the result; the edits slice itself is
+// re-sorted in place. Deleting an absent key and re-writing an identical
+// value are no-ops (beyond re-hashing).
+func (t *IncTree) Apply(edits []Edit) Hash {
+	if len(edits) == 0 {
+		return t.Root()
+	}
+	// Stable: duplicate-key edits keep input order, so last-writer-wins
+	// holds regardless of batch size.
+	sort.SliceStable(edits, func(i, j int) bool { return edits[i].Key < edits[j].Key })
+
+	minIdx := -1 // leftmost touched leaf index
+	structural := false
+	var dirty []int // updated-in-place leaf indices (valid while !structural)
+	for _, e := range edits {
+		i := sort.SearchStrings(t.keys, e.Key)
+		found := i < len(t.keys) && t.keys[i] == e.Key
+		switch {
+		case e.Delete && !found:
+			continue
+		case e.Delete:
+			t.keys = append(t.keys[:i], t.keys[i+1:]...)
+			t.values = append(t.values[:i], t.values[i+1:]...)
+			t.leaves = append(t.leaves[:i], t.leaves[i+1:]...)
+			structural = true
+		case found:
+			t.values[i] = e.Value
+			t.leaves[i] = LeafHash([]byte(e.Key), e.Value)
+			dirty = append(dirty, i)
+		default:
+			t.keys = append(t.keys, "")
+			copy(t.keys[i+1:], t.keys[i:])
+			t.keys[i] = e.Key
+			t.values = append(t.values, nil)
+			copy(t.values[i+1:], t.values[i:])
+			t.values[i] = e.Value
+			t.leaves = append(t.leaves, Hash{})
+			copy(t.leaves[i+1:], t.leaves[i:])
+			t.leaves[i] = LeafHash([]byte(e.Key), e.Value)
+			structural = true
+		}
+		if minIdx == -1 || i < minIdx {
+			minIdx = i
+		}
+	}
+	if minIdx == -1 {
+		return t.Root()
+	}
+	if structural {
+		t.rebuildFrom(minIdx)
+	} else {
+		t.rehashPaths(dirty)
+	}
+	return t.Root()
+}
+
+// rebuildFrom recomputes the padded leaf level and all inner levels from
+// leaf index `from` to the right edge, resizing the level structure when
+// the leaf count crossed a power of two.
+func (t *IncTree) rebuildFrom(from int) {
+	n := len(t.leaves)
+	if n == 0 {
+		t.levels = nil
+		return
+	}
+	m := 1
+	for m < n {
+		m *= 2
+	}
+	if len(t.levels) == 0 || len(t.levels[0]) != m {
+		// Size change: allocate fresh levels and recompute everything.
+		depth := 1
+		for w := m; w > 1; w /= 2 {
+			depth++
+		}
+		t.levels = make([][]Hash, depth)
+		for l, w := 0, m; l < depth; l, w = l+1, w/2 {
+			t.levels[l] = make([]Hash, w)
+		}
+		from = 0
+	}
+	lv0 := t.levels[0]
+	copy(lv0[from:n], t.leaves[from:])
+	for i := n; i < m; i++ {
+		if i >= from {
+			lv0[i] = padLeaf
+		}
+	}
+	lo := from
+	for l := 1; l < len(t.levels); l++ {
+		lo /= 2
+		row, below := t.levels[l], t.levels[l-1]
+		for i := lo; i < len(row); i++ {
+			row[i] = InnerHash(below[2*i], below[2*i+1])
+		}
+	}
+}
+
+// rehashPaths recomputes only the root paths of updated leaf indices —
+// the pure value-update fast path, O(d log n).
+func (t *IncTree) rehashPaths(dirty []int) {
+	if len(dirty) == 0 || len(t.levels) == 0 {
+		return
+	}
+	for _, i := range dirty {
+		t.levels[0][i] = t.leaves[i]
+	}
+	idxs := dirty
+	for l := 1; l < len(t.levels); l++ {
+		row, below := t.levels[l], t.levels[l-1]
+		next := idxs[:0]
+		prev := -1
+		for _, i := range idxs {
+			p := i / 2
+			if p == prev {
+				continue
+			}
+			prev = p
+			row[p] = InnerHash(below[2*p], below[2*p+1])
+			next = append(next, p)
+		}
+		idxs = next
+	}
+}
+
+// Snapshot materializes the current state as an immutable Tree serving
+// proofs: levels are deep-copied (hash moves, no re-hashing) so later
+// Apply calls cannot invalidate outstanding proofs.
+func (t *IncTree) Snapshot() *Tree {
+	n := len(t.keys)
+	tr := &Tree{
+		keys:   make([][]byte, n),
+		values: append([][]byte(nil), t.values...),
+		root:   t.Root(),
+	}
+	for i, k := range t.keys {
+		tr.keys[i] = []byte(k)
+	}
+	if len(t.levels) > 0 {
+		tr.levels = make([][]Hash, len(t.levels))
+		for l, row := range t.levels {
+			tr.levels[l] = append([]Hash(nil), row...)
+		}
+	}
+	return tr
+}

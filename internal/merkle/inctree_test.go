@@ -1,0 +1,129 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// applyRef mirrors Apply on a plain map for cross-checking.
+func applyRef(ref map[string][]byte, edits []Edit) {
+	for _, e := range edits {
+		if e.Delete {
+			delete(ref, e.Key)
+		} else {
+			ref[e.Key] = e.Value
+		}
+	}
+}
+
+func TestIncTreeMatchesFullRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	inc := NewIncTree()
+	ref := make(map[string][]byte)
+	for step := 0; step < 200; step++ {
+		var edits []Edit
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%03d", rng.Intn(300))
+			switch rng.Intn(4) {
+			case 0: // delete (often of an absent key early on)
+				edits = append(edits, Edit{Key: key, Delete: true})
+			default:
+				edits = append(edits, Edit{Key: key, Value: []byte(fmt.Sprintf("v%d-%d", step, i))})
+			}
+		}
+		got := inc.Apply(edits)
+		applyRef(ref, edits)
+		want := NewTree(ref).Root()
+		if got != want {
+			t.Fatalf("step %d: incremental root %x != full rebuild %x (n=%d)", step, got, want, len(ref))
+		}
+		if inc.Len() != len(ref) {
+			t.Fatalf("step %d: len %d != %d", step, inc.Len(), len(ref))
+		}
+	}
+}
+
+func TestIncTreeDuplicateKeysLastWriterWins(t *testing.T) {
+	// A large batch (beyond the stable insertion-sort threshold) with
+	// set-then-delete and delete-then-set pairs on the same keys must
+	// apply in input order.
+	var edits []Edit
+	for i := 0; i < 10; i++ {
+		edits = append(edits, Edit{Key: fmt.Sprintf("pad%02d", i), Value: []byte("p")})
+	}
+	edits = append(edits,
+		Edit{Key: "dup-a", Value: []byte("first")},
+		Edit{Key: "dup-b", Delete: true},
+		Edit{Key: "dup-a", Delete: true},            // last writer: deleted
+		Edit{Key: "dup-b", Value: []byte("second")}, // last writer: present
+	)
+	inc := NewIncTree()
+	got := inc.Apply(edits)
+	want := make(map[string][]byte)
+	applyRef(want, edits)
+	if _, ok := want["dup-a"]; ok {
+		t.Fatal("reference model broken")
+	}
+	if root := NewTree(want).Root(); got != root {
+		t.Fatalf("duplicate-key batch root %x != last-writer-wins root %x", got, root)
+	}
+}
+
+func TestIncTreeEmptyAndSingle(t *testing.T) {
+	inc := NewIncTree()
+	if inc.Root() != NewTree(nil).Root() {
+		t.Fatal("empty roots differ")
+	}
+	if got := inc.Apply(nil); got != NewTree(nil).Root() {
+		t.Fatalf("apply(nil) root = %x", got)
+	}
+	// Delete of an absent key on the empty tree is a no-op.
+	if got := inc.Apply([]Edit{{Key: "nope", Delete: true}}); got != NewTree(nil).Root() {
+		t.Fatalf("no-op delete root = %x", got)
+	}
+	one := map[string][]byte{"a": []byte("1")}
+	if got := inc.Apply([]Edit{{Key: "a", Value: []byte("1")}}); got != NewTree(one).Root() {
+		t.Fatal("single-leaf root mismatch")
+	}
+	// Back to empty: delete the only leaf.
+	if got := inc.Apply([]Edit{{Key: "a", Delete: true}}); got != NewTree(nil).Root() {
+		t.Fatal("root after deleting last leaf != empty root")
+	}
+}
+
+func TestIncTreeSnapshotServesProofs(t *testing.T) {
+	inc := NewIncTree()
+	kv := make(map[string][]byte)
+	var edits []Edit
+	for i := 0; i < 37; i++ {
+		k, v := fmt.Sprintf("key%02d", i), []byte(fmt.Sprintf("val%d", i))
+		kv[k] = v
+		edits = append(edits, Edit{Key: k, Value: v})
+	}
+	root := inc.Apply(edits)
+	snap := inc.Snapshot()
+	if snap.Root() != root {
+		t.Fatal("snapshot root mismatch")
+	}
+	v, mp, ok := snap.ProveMembership([]byte("key17"))
+	if !ok || string(v) != "val17" {
+		t.Fatalf("membership proof: ok=%v v=%q", ok, v)
+	}
+	if err := VerifyMembership(root, []byte("key17"), v, mp); err != nil {
+		t.Fatal(err)
+	}
+	nm, ok := snap.ProveNonMembership([]byte("key17x"))
+	if !ok {
+		t.Fatal("non-membership proof failed")
+	}
+	if err := VerifyNonMembership(root, []byte("key17x"), nm); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the live tree must not invalidate the snapshot's proofs.
+	inc.Apply([]Edit{{Key: "key17", Value: []byte("overwritten")}, {Key: "aaa", Value: []byte("new")}})
+	if err := VerifyMembership(root, []byte("key17"), v, mp); err != nil {
+		t.Fatalf("snapshot proof invalidated by later Apply: %v", err)
+	}
+}

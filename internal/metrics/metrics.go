@@ -80,6 +80,21 @@ func (s Status) String() string {
 	}
 }
 
+// MarshalText renders the status name, so map[Status]int completion
+// tallies serialize with readable JSON keys in persisted run results.
+func (s Status) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a status name written by MarshalText.
+func (s *Status) UnmarshalText(text []byte) error {
+	for _, c := range []Status{StatusCompleted, StatusPartial, StatusInitiated, StatusNotCommitted} {
+		if string(text) == c.String() {
+			*s = c
+			return nil
+		}
+	}
+	return fmt.Errorf("metrics: unknown status %q", text)
+}
+
 // PacketKey identifies one cross-chain transfer packet.
 type PacketKey struct {
 	SrcChain string

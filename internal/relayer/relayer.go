@@ -17,14 +17,13 @@
 package relayer
 
 import (
-	"encoding/json"
 	"errors"
 	"strings"
 	"time"
 
-	"ibcbench/internal/abci"
 	"ibcbench/internal/app"
 	"ibcbench/internal/chain"
+	"ibcbench/internal/eventindex"
 	"ibcbench/internal/ibc"
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/netem"
@@ -244,7 +243,13 @@ func (r *Relayer) onFrame(src, dst *endpoint, frame *rpc.EventFrame) {
 		r.tryFlush(dst)
 		return
 	}
-	r.processBlockTxs(src, dst, frame.Height, frame.BlockTime, frame.Txs)
+	be := frame.Events
+	if be == nil {
+		// Frames assembled without a shared index (hand-built in tests)
+		// fall back to a local decode pass.
+		be = eventindex.Decode(frame.Height, frame.BlockTime, frame.Txs)
+	}
+	r.processBlock(src, dst, be)
 	// New destination-side heights unblock proof-height waits and may
 	// expire pending packets.
 	r.checkTimeouts(src, dst)
@@ -252,46 +257,41 @@ func (r *Relayer) onFrame(src, dst *endpoint, frame *rpc.EventFrame) {
 	r.tryFlush(dst)
 }
 
-// processBlockTxs is the Packet Command Worker handling one block batch.
-func (r *Relayer) processBlockTxs(src, dst *endpoint, height int64, blockTime time.Duration, txs []*store.TxInfo) {
+// processBlock is the Packet Command Worker handling one block batch. It
+// consumes the chain's shared event index: the per-channel packet records
+// were decoded once at commit time, so co-located relayers never re-scan
+// the block. The calibrated per-message parse cost is still charged in
+// virtual time — Hermes pays it per instance — only the simulator's own
+// redundant decode work is gone.
+func (r *Relayer) processBlock(src, dst *endpoint, be *eventindex.BlockEvents) {
 	// Message extraction: identify txs carrying work for our channel (on
 	// a multi-channel chain, packets of other links are someone else's).
-	var (
-		recvTxs  []*store.TxInfo
-		ackTxs   []*store.TxInfo
-		msgCount int
-	)
-	for _, info := range txs {
-		t, ok := info.Tx.(*app.Tx)
-		if !ok || !info.Result.IsOK() {
-			continue
+	var recvTxs, ackTxs []*eventindex.TxEvents
+	for _, te := range be.Txs {
+		if len(te.SendPackets(src.channel)) > 0 {
+			recvTxs = append(recvTxs, te)
 		}
-		msgCount += len(t.Msgs)
-		hasSend, hasAckWrite := r.classifyForChannel(info.Result.Events, src.channel)
-		if hasSend {
-			recvTxs = append(recvTxs, info)
-		}
-		if hasAckWrite {
-			ackTxs = append(ackTxs, info)
+		if len(te.Acks(src.channel)) > 0 {
+			ackTxs = append(ackTxs, te)
 		}
 	}
 	if len(recvTxs) == 0 && len(ackTxs) == 0 {
 		return
 	}
-	parse := r.cfg.BatchOverhead + time.Duration(msgCount)*r.cfg.ParseCostPerMsg
+	parse := r.cfg.BatchOverhead + time.Duration(be.MsgCount)*r.cfg.ParseCostPerMsg
 	r.cpu.Submit(parse, func() {
 		now := r.sched.Now()
 		// Record extraction + confirmation for every packet seen.
-		for _, info := range recvTxs {
-			for _, p := range packetsOnChannel(info.Result.Events, "send_packet", src.channel) {
+		for _, te := range recvTxs {
+			for _, p := range te.SendPackets(src.channel) {
 				key := r.keyOf(src, p)
 				r.track(key, metrics.StepTransferExtraction, now)
 				r.track(key, metrics.StepTransferConfirmation, now)
 			}
 		}
-		for _, info := range ackTxs {
-			for _, p := range packetsOnChannel(info.Result.Events, "write_acknowledgement", src.channel) {
-				key := r.keyOf(dst, p) // packet's source is the counterparty
+		for _, te := range ackTxs {
+			for _, w := range te.Acks(src.channel) {
+				key := r.keyOf(dst, w.Packet) // packet's source is the counterparty
 				r.track(key, metrics.StepRecvExtraction, now)
 				// The event subscription confirms commitment too; the
 				// polling path below is a fallback (first write wins).
@@ -299,25 +299,23 @@ func (r *Relayer) processBlockTxs(src, dst *endpoint, height int64, blockTime ti
 			}
 		}
 		// Data pulls: one heavy query per tx, serial on the source RPC.
-		for _, info := range recvTxs {
-			r.pullTxData(src, 0, info, func(got *store.TxInfo) {
-				r.buildRecvBatch(src, dst, height, got)
-			})
+		for _, te := range recvTxs {
+			r.pullTxData(src, 0, te, func() { r.buildRecvBatch(src, dst, te) })
 		}
-		for _, info := range ackTxs {
-			r.pullTxData(src, 0, info, func(got *store.TxInfo) {
-				r.buildAckBatch(src, dst, height, got)
-			})
+		for _, te := range ackTxs {
+			r.pullTxData(src, 0, te, func() { r.buildAckBatch(src, dst, te) })
 		}
 	})
 }
 
 // pullTxData enqueues a heavy data-pull query on the relayer's serial
 // pull queue (Hermes waits for each query response before issuing the
-// next — §IV-B), retrying on timeouts.
-func (r *Relayer) pullTxData(src *endpoint, attempt int, info *store.TxInfo, fn func(*store.TxInfo)) {
+// next — §IV-B), retrying on timeouts. The response payload itself is
+// already decoded in the event index; the pull pays the wire/service
+// cost and fn consumes the indexed records.
+func (r *Relayer) pullTxData(src *endpoint, attempt int, te *eventindex.TxEvents, fn func()) {
 	r.enqueuePull(func(done func()) {
-		r.doPull(src, attempt, info, fn, done)
+		r.doPull(src, attempt, te, fn, done)
 	})
 }
 
@@ -339,30 +337,31 @@ func (r *Relayer) runPulls() {
 	})
 }
 
-func (r *Relayer) doPull(src *endpoint, attempt int, info *store.TxInfo, fn func(*store.TxInfo), done func()) {
+func (r *Relayer) doPull(src *endpoint, attempt int, te *eventindex.TxEvents, fn func(), done func()) {
 	if r.stopped || attempt > 10 {
 		done()
 		return
 	}
-	src.rpc.QueryTxData(r.host, info.Tx.Hash(), func(got *store.TxInfo, err error) {
+	src.rpc.QueryTxData(r.host, te.Info.Tx.Hash(), func(_ *store.TxInfo, err error) {
 		if r.stopped {
 			done()
 			return
 		}
 		if err != nil {
-			r.sched.After(r.cfg.ConfirmPoll, func() { r.doPull(src, attempt+1, info, fn, done) })
+			r.sched.After(r.cfg.ConfirmPoll, func() { r.doPull(src, attempt+1, te, fn, done) })
 			return
 		}
-		fn(got)
+		fn()
 		done()
 	})
 }
 
-// buildRecvBatch turns one source tx's send_packet events into
-// MsgRecvPackets destined for dst.
-func (r *Relayer) buildRecvBatch(src, dst *endpoint, height int64, info *store.TxInfo) {
-	packets := packetsOnChannel(info.Result.Events, "send_packet", src.channel)
-	fresh := packets[:0]
+// buildRecvBatch turns one source tx's indexed send_packet records into
+// MsgRecvPackets destined for dst. The index slice is shared across
+// relayers and must not be mutated.
+func (r *Relayer) buildRecvBatch(src, dst *endpoint, te *eventindex.TxEvents) {
+	packets := te.SendPackets(src.channel)
+	fresh := make([]ibc.Packet, 0, len(packets))
 	for _, p := range packets {
 		id := pktID{src.chain.ID, p.SourceChannel, p.Sequence}
 		if r.seenRecv[id] {
@@ -382,7 +381,7 @@ func (r *Relayer) buildRecvBatch(src, dst *endpoint, height int64, info *store.T
 	build := time.Duration(len(fresh)) * r.cfg.BuildCostPerMsg
 	r.cpu.Submit(build, func() {
 		done := r.sched.Now()
-		proofHeight := info.Height + 1
+		proofHeight := te.Info.Height + 1
 		for _, p := range fresh {
 			r.track(r.keyOf(src, p), metrics.StepRecvBuild, done)
 			dst.outbox = append(dst.outbox, outMsg{
@@ -401,36 +400,40 @@ func (r *Relayer) buildRecvBatch(src, dst *endpoint, height int64, info *store.T
 	})
 }
 
-// buildAckBatch turns write_acknowledgement events on src (the packet
-// destination) into MsgAcknowledgements for dst (the packet source).
-func (r *Relayer) buildAckBatch(src, dst *endpoint, height int64, info *store.TxInfo) {
-	packets := packetsOnChannel(info.Result.Events, "write_acknowledgement", src.channel)
-	acks := acksFromEvents(info.Result.Events, src.channel)
-	fresh := packets[:0]
-	for _, p := range packets {
-		id := pktID{dst.chain.ID, p.SourceChannel, p.Sequence}
+// buildAckBatch turns the indexed write_acknowledgement records on src
+// (the packet destination) into MsgAcknowledgements for dst (the packet
+// source).
+func (r *Relayer) buildAckBatch(src, dst *endpoint, te *eventindex.TxEvents) {
+	writes := te.Acks(src.channel)
+	fresh := make([]eventindex.AckWrite, 0, len(writes))
+	for _, w := range writes {
+		id := pktID{dst.chain.ID, w.Packet.SourceChannel, w.Packet.Sequence}
 		if r.seenAck[id] {
 			continue
 		}
 		r.seenAck[id] = true
 		delete(r.pendingRecv, id)
-		fresh = append(fresh, p)
+		fresh = append(fresh, w)
 	}
 	if len(fresh) == 0 {
 		return
 	}
 	now := r.sched.Now()
-	for _, p := range fresh {
-		r.track(r.keyOf(dst, p), metrics.StepRecvDataPull, now)
+	for _, w := range fresh {
+		r.track(r.keyOf(dst, w.Packet), metrics.StepRecvDataPull, now)
 	}
 	build := time.Duration(len(fresh)) * r.cfg.BuildCostPerMsg
 	r.cpu.Submit(build, func() {
 		done := r.sched.Now()
-		proofHeight := info.Height + 1
-		for _, p := range fresh {
+		proofHeight := te.Info.Height + 1
+		for _, w := range fresh {
+			p := w.Packet
 			key := r.keyOf(dst, p)
 			r.track(key, metrics.StepAckBuild, done)
-			ack := acks[p.Sequence]
+			// Decode always pairs the event's ack bytes (possibly empty)
+			// with its packet; the placeholder guards only a nil slice,
+			// mirroring the pre-index fallback exactly.
+			ack := w.Ack
 			if ack == nil {
 				ack = ibc.Acknowledgement{Result: []byte("AQ==")}.Bytes()
 			}
@@ -708,16 +711,11 @@ func (r *Relayer) scheduleClear(src, dst *endpoint) {
 			r.missedB = nil
 		}
 		for _, h := range missed {
-			h := h
-			src.rpc.QueryBlockTxs(r.host, h, func(infos []*store.TxInfo, err error) {
+			src.rpc.QueryBlockEvents(r.host, h, func(be *eventindex.BlockEvents, err error) {
 				if err != nil || r.stopped {
 					return
 				}
-				blk, berr := src.chain.Store.Block(h)
-				if berr != nil {
-					return
-				}
-				r.processBlockTxs(src, dst, h, blk.Block.Header.Time, infos)
+				r.processBlock(src, dst, be)
 				r.tryFlush(dst)
 			})
 		}
@@ -745,87 +743,6 @@ func (r *Relayer) keyOfMsg(dst *endpoint, m outMsg) metrics.PacketKey {
 	default: // acks and timeouts land on the packet's source chain
 		return r.keyOf(dst, m.packet)
 	}
-}
-
-// classifyForChannel reports whether a tx's events carry work for this
-// relayer's channel: send_packet matches on the packet's source channel,
-// write_acknowledgement on its destination channel (both live on the
-// chain emitting the event).
-func (r *Relayer) classifyForChannel(events []abci.Event, channel string) (hasSend, hasAckWrite bool) {
-	for _, ev := range events {
-		switch ev.Type {
-		case "send_packet":
-			if !hasSend {
-				for _, p := range decodePackets(ev) {
-					if p.SourceChannel == channel {
-						hasSend = true
-						break
-					}
-				}
-			}
-		case "write_acknowledgement":
-			if !hasAckWrite {
-				for _, p := range decodePackets(ev) {
-					if p.DestChannel == channel {
-						hasAckWrite = true
-						break
-					}
-				}
-			}
-		}
-	}
-	return
-}
-
-// decodePackets extracts the packet payload of one event (0 or 1 packets).
-func decodePackets(ev abci.Event) []ibc.Packet {
-	var p ibc.Packet
-	if err := json.Unmarshal([]byte(ev.Attributes["packet"]), &p); err != nil {
-		return nil
-	}
-	return []ibc.Packet{p}
-}
-
-// packetsOnChannel decodes packets of one event type that belong to the
-// given channel on the emitting chain (source channel for send_packet,
-// destination channel for write_acknowledgement).
-func packetsOnChannel(events []abci.Event, typ, channel string) []ibc.Packet {
-	var out []ibc.Packet
-	for _, ev := range events {
-		if ev.Type != typ {
-			continue
-		}
-		for _, p := range decodePackets(ev) {
-			switch typ {
-			case "write_acknowledgement":
-				if p.DestChannel != channel {
-					continue
-				}
-			default:
-				if p.SourceChannel != channel {
-					continue
-				}
-			}
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// acksFromEvents maps sequence -> raw ack bytes for one channel.
-func acksFromEvents(events []abci.Event, channel string) map[uint64][]byte {
-	out := make(map[uint64][]byte)
-	for _, ev := range events {
-		if ev.Type != "write_acknowledgement" {
-			continue
-		}
-		for _, p := range decodePackets(ev) {
-			if p.DestChannel == channel {
-				out[p.Sequence] = []byte(ev.Attributes["ack"])
-			}
-		}
-	}
-	return out
 }
 
 func containsRedundant(log string) bool {

@@ -15,8 +15,10 @@ package rpc
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
+	"ibcbench/internal/eventindex"
 	"ibcbench/internal/netem"
 	"ibcbench/internal/sim"
 	"ibcbench/internal/simconf"
@@ -72,6 +74,11 @@ type EventFrame struct {
 	BlockTime  time.Duration
 	Txs        []*store.TxInfo
 	FrameBytes int
+	// Events is the chain's shared event index for this block: decoded
+	// once at commit time and served by reference, so K subscribed
+	// relayers share a single scan. Nil on error frames (events were not
+	// collected) and on servers without an index source.
+	Events *eventindex.BlockEvents
 	// Err is ErrFrameTooLarge when the frame exceeded the limit; the
 	// Txs slice is then nil (events were not collected).
 	Err error
@@ -98,6 +105,9 @@ type Server struct {
 	accountSeq func(string) (uint64, error)
 	// msgCount counts messages in a tx, for pagination scaling.
 	msgCount func(types.Tx) int
+	// events resolves the chain's shared event index at a height (may be
+	// nil on servers assembled without an index source).
+	events func(int64) *eventindex.BlockEvents
 
 	subs []subscriber
 
@@ -123,6 +133,7 @@ func New(
 	eventFrameBytes func([]types.Tx) int,
 	accountSeq func(string) (uint64, error),
 	msgCount func(types.Tx) int,
+	events func(int64) *eventindex.BlockEvents,
 ) *Server {
 	return &Server{
 		sched:           sched,
@@ -136,6 +147,7 @@ func New(
 		eventFrameBytes: eventFrameBytes,
 		accountSeq:      accountSeq,
 		msgCount:        msgCount,
+		events:          events,
 	}
 }
 
@@ -242,23 +254,50 @@ func (s *Server) QueryTxData(from netem.Host, hash types.Hash, cb func(*store.Tx
 	}, cb)
 }
 
-// QueryBlockTxs returns all transactions at a height (the paper's
-// tx_search --events tx.height=X), with size-proportional cost.
-func (s *Server) QueryBlockTxs(from netem.Host, height int64, cb func([]*store.TxInfo, error)) {
-	s.queries++
-	var cost time.Duration = s.cfg.StatusCost
+// blockQueryCost is the tx_search service cost for one height: the
+// light-query floor plus the size-proportional pull cost of every tx.
+// QueryBlockTxs and QueryBlockEvents must charge identically — the
+// indexed query changes what the reply references, not what the
+// paper-calibrated service model costs.
+func (s *Server) blockQueryCost(height int64) time.Duration {
+	cost := s.cfg.StatusCost
 	if infos, err := s.stor.TxsAtHeight(height); err == nil && s.txQueryCost != nil {
 		pf := s.pageFactor(height)
 		for _, info := range infos {
 			cost += time.Duration(float64(s.txQueryCost(info.Tx)) * pf)
 		}
 	}
-	request(s, from, cost, func() ([]*store.TxInfo, error) {
+	return cost
+}
+
+// QueryBlockTxs returns all transactions at a height (the paper's
+// tx_search --events tx.height=X), with size-proportional cost.
+func (s *Server) QueryBlockTxs(from netem.Host, height int64, cb func([]*store.TxInfo, error)) {
+	s.queries++
+	request(s, from, s.blockQueryCost(height), func() ([]*store.TxInfo, error) {
 		infos, err := s.stor.TxsAtHeight(height)
 		if err != nil {
 			return nil, ErrNotFound
 		}
 		return infos, nil
+	}, cb)
+}
+
+// QueryBlockEvents is QueryBlockTxs through the shared event index: the
+// wire/service cost is identical (the relayer still pays for the full
+// tx_search response), but the reply is the block's already-decoded
+// per-channel packet records instead of raw transactions to re-parse.
+func (s *Server) QueryBlockEvents(from netem.Host, height int64, cb func(*eventindex.BlockEvents, error)) {
+	s.queries++
+	request(s, from, s.blockQueryCost(height), func() (*eventindex.BlockEvents, error) {
+		if s.events == nil {
+			return nil, ErrNotFound
+		}
+		be := s.events(height)
+		if be == nil {
+			return nil, ErrNotFound
+		}
+		return be, nil
 	}, cb)
 }
 
@@ -305,16 +344,19 @@ func (s *Server) PublishBlock(cb *store.CommittedBlock) {
 		s.frameErrors++
 		frame.Err = ErrFrameTooLarge
 	} else {
-		infos := make([]*store.TxInfo, len(cb.Block.Data))
-		for i, tx := range cb.Block.Data {
-			infos[i] = &store.TxInfo{
-				Height: cb.Block.Header.Height,
-				Index:  i,
-				Tx:     tx,
-				Result: cb.Results[i],
-			}
+		// The block is already appended (commit hooks fire post-append),
+		// so the store's cached materialization and the chain's shared
+		// event index are both available — no per-server re-decode. A
+		// missing height is a hook-ordering bug, not a degraded frame.
+		infos, err := s.stor.TxsAtHeight(cb.Block.Header.Height)
+		if err != nil {
+			panic(fmt.Sprintf("rpc %s: publishing height %d before store append: %v",
+				s.host, cb.Block.Header.Height, err))
 		}
 		frame.Txs = infos
+		if s.events != nil {
+			frame.Events = s.events(cb.Block.Header.Height)
+		}
 	}
 	for _, sub := range s.subs {
 		sub := sub

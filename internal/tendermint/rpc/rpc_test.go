@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ibcbench/internal/abci"
+	"ibcbench/internal/eventindex"
 	"ibcbench/internal/netem"
 	"ibcbench/internal/sim"
 	"ibcbench/internal/tendermint/mempool"
@@ -30,6 +31,7 @@ type fixture struct {
 	server *Server
 	stor   *store.Store
 	pool   *mempool.Pool
+	idx    *eventindex.Index
 	client netem.Host
 }
 
@@ -40,6 +42,7 @@ func newFixture(cfg Config) *fixture {
 		LoopbackLatency: time.Millisecond,
 	})
 	stor := store.New("chain-a")
+	idx := eventindex.New("chain-a")
 	pool := mempool.New(mempool.DefaultConfig(), nil)
 	srv := New(sched, net, "chain-a/val0", cfg, stor, pool,
 		func(t types.Tx) time.Duration {
@@ -67,8 +70,9 @@ func newFixture(cfg Config) *fixture {
 				return tt.msgs
 			}
 			return 0
-		})
-	return &fixture{sched: sched, server: srv, stor: stor, pool: pool, client: "relayer-host"}
+		},
+		idx.At)
+	return &fixture{sched: sched, server: srv, stor: stor, pool: pool, idx: idx, client: "relayer-host"}
 }
 
 func commitBlock(f *fixture, height int64, txs ...types.Tx) *store.CommittedBlock {
@@ -81,6 +85,11 @@ func commitBlock(f *fixture, height int64, txs ...types.Tx) *store.CommittedBloc
 	if err := f.stor.Append(cb); err != nil {
 		panic(err)
 	}
+	infos, err := f.stor.TxsAtHeight(height)
+	if err != nil {
+		panic(err)
+	}
+	f.idx.IndexTxs(height, cb.Block.Header.Time, infos)
 	return cb
 }
 
@@ -195,6 +204,62 @@ func TestQueryBlockTxs(t *testing.T) {
 	}
 	if !errors.Is(missErr, ErrNotFound) {
 		t.Fatalf("missing block err = %v", missErr)
+	}
+}
+
+func TestQueryBlockEventsMatchesBlockTxsCost(t *testing.T) {
+	// The indexed query must serve the shared BlockEvents at exactly the
+	// tx_search service cost: same reply time as QueryBlockTxs.
+	f := newFixture(DefaultConfig())
+	commitBlock(f, 1, tx{id: "a", msgs: 3}, tx{id: "b", msgs: 2})
+	var atTxs time.Duration
+	f.server.QueryBlockTxs(f.client, 1, func([]*store.TxInfo, error) { atTxs = f.sched.Now() })
+	if err := f.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f2 := newFixture(DefaultConfig())
+	commitBlock(f2, 1, tx{id: "a", msgs: 3}, tx{id: "b", msgs: 2})
+	var atEvents time.Duration
+	var be *eventindex.BlockEvents
+	f2.server.QueryBlockEvents(f2.client, 1, func(b *eventindex.BlockEvents, err error) {
+		be, atEvents = b, f2.sched.Now()
+	})
+	if err := f2.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if atEvents != atTxs {
+		t.Fatalf("QueryBlockEvents at %v, QueryBlockTxs at %v: costs diverged", atEvents, atTxs)
+	}
+	if be == nil || be.Height != 1 {
+		t.Fatalf("block events = %+v", be)
+	}
+	if be != f2.idx.At(1) {
+		t.Fatal("query did not serve the shared index instance")
+	}
+	var missErr error
+	f2.server.QueryBlockEvents(f2.client, 9, func(_ *eventindex.BlockEvents, err error) { missErr = err })
+	if err := f2.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(missErr, ErrNotFound) {
+		t.Fatalf("missing block err = %v", missErr)
+	}
+}
+
+func TestSubscriptionCarriesSharedIndex(t *testing.T) {
+	f := newFixture(DefaultConfig())
+	var frame *EventFrame
+	f.server.Subscribe(f.client, func(fr *EventFrame) { frame = fr })
+	cb := commitBlock(f, 1, tx{id: "a", bytes: 100})
+	f.server.PublishBlock(cb)
+	if err := f.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if frame == nil || frame.Events == nil {
+		t.Fatalf("frame = %+v, want attached event index", frame)
+	}
+	if frame.Events != f.idx.At(1) {
+		t.Fatal("frame carries a private index, not the shared one")
 	}
 }
 

@@ -35,6 +35,10 @@ type Store struct {
 	chainID string
 	blocks  []*CommittedBlock // index 0 = height 1
 	txIndex map[types.Hash]*TxInfo
+	// txsByHeight caches each block's TxInfo slice (the same records the
+	// hash index points at), so per-height queries, event publication and
+	// the event index all share one materialization per block.
+	txsByHeight [][]*TxInfo
 }
 
 // New returns an empty store for the given chain.
@@ -61,14 +65,18 @@ func (s *Store) Append(cb *CommittedBlock) error {
 		return fmt.Errorf("store: %d results for %d txs", len(cb.Results), len(cb.Block.Data))
 	}
 	s.blocks = append(s.blocks, cb)
+	infos := make([]*TxInfo, len(cb.Block.Data))
 	for i, tx := range cb.Block.Data {
-		s.txIndex[tx.Hash()] = &TxInfo{
+		info := &TxInfo{
 			Height: cb.Block.Header.Height,
 			Index:  i,
 			Tx:     tx,
 			Result: cb.Results[i],
 		}
+		infos[i] = info
+		s.txIndex[tx.Hash()] = info
 	}
+	s.txsByHeight = append(s.txsByHeight, infos)
 	return nil
 }
 
@@ -91,14 +99,11 @@ func (s *Store) Tx(hash types.Hash) (*TxInfo, error) {
 
 // TxsAtHeight returns the transactions of one block with their results,
 // the backing data of the paper's `tx_search --events tx.height=X` query.
+// The returned slice is the store's cached materialization; callers must
+// treat it as read-only.
 func (s *Store) TxsAtHeight(height int64) ([]*TxInfo, error) {
-	cb, err := s.Block(height)
-	if err != nil {
-		return nil, err
+	if height < 1 || height > s.Height() {
+		return nil, ErrNotFound
 	}
-	out := make([]*TxInfo, len(cb.Block.Data))
-	for i, tx := range cb.Block.Data {
-		out[i] = &TxInfo{Height: height, Index: i, Tx: tx, Result: cb.Results[i]}
-	}
-	return out, nil
+	return s.txsByHeight[height-1], nil
 }
