@@ -10,14 +10,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"testing"
+	"time"
 
 	"ibcbench/internal/abci"
 	"ibcbench/internal/app"
+	"ibcbench/internal/chain"
 	"ibcbench/internal/eventindex"
 	"ibcbench/internal/experiments"
 	"ibcbench/internal/ibc"
 	"ibcbench/internal/merkle"
 	"ibcbench/internal/metrics"
+	"ibcbench/internal/netem"
+	"ibcbench/internal/sim"
 	"ibcbench/internal/tendermint/store"
 	"ibcbench/internal/topo"
 )
@@ -277,6 +281,34 @@ func BenchmarkStateCommit(b *testing.B) {
 			s.Commit(int64(i + 2))
 		}
 	})
+}
+
+// BenchmarkVoteFanout measures consensus block production as the
+// validator set grows — the next intra-run hot-path candidate after
+// event decode and merkle commits (ROADMAP). Every vote is signed once
+// and verified by each of the V receiving nodes, so per-height fan-out
+// work is O(V^2) signature checks across two voting stages; the
+// blocks-per-virtual-minute metric pins how the simulator's wall-clock
+// cost scales with the set size.
+func BenchmarkVoteFanout(b *testing.B) {
+	for _, vals := range []int{5, 9, 13} {
+		b.Run(fmt.Sprintf("vals-%d", vals), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched := sim.NewScheduler()
+				rng := sim.NewRNG(int64(31 + i))
+				network := netem.New(sched, rng, netem.DefaultWAN())
+				c := chain.New(sched, network, chain.Config{ChainID: "fanout", Validators: vals})
+				c.Start()
+				if err := sched.RunUntil(60 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				if c.Store.Height() == 0 {
+					b.Fatal("no blocks committed")
+				}
+				b.ReportMetric(float64(c.Store.Height()), "blocks-per-vmin")
+			}
+		})
+	}
 }
 
 var _ = metrics.StatusCompleted

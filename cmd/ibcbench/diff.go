@@ -1,0 +1,138 @@
+// Result-file diffing: compare two -out JSON documents metric by metric
+// for cross-PR regression tracking of reproduced figures.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// runDiff loads two -out result files and prints per-metric deltas.
+func runDiff(oldPath, newPath string, w io.Writer) error {
+	oldDoc, err := loadResults(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadResults(newPath)
+	if err != nil {
+		return err
+	}
+	oldFlat := flatten("", oldDoc)
+	newFlat := flatten("", newDoc)
+
+	var changed, added, removed []string
+	unchanged := 0
+	for path := range oldFlat {
+		if _, ok := newFlat[path]; !ok {
+			removed = append(removed, path)
+		}
+	}
+	for path, nv := range newFlat {
+		ov, ok := oldFlat[path]
+		if !ok {
+			added = append(added, path)
+			continue
+		}
+		if ov == nv {
+			unchanged++
+			continue
+		}
+		changed = append(changed, path)
+	}
+	sort.Strings(changed)
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	fmt.Fprintf(w, "# diff %s -> %s\n", oldPath, newPath)
+	if len(changed) == 0 && len(added) == 0 && len(removed) == 0 {
+		fmt.Fprintf(w, "no differences (%d metrics compared)\n", unchanged)
+		return nil
+	}
+	if len(changed) > 0 {
+		fmt.Fprintf(w, "%-58s %14s %14s %14s %9s\n", "metric", "old", "new", "delta", "%")
+		for _, path := range changed {
+			ov, nv := oldFlat[path], newFlat[path]
+			on, oldNum := ov.(float64)
+			nn, newNum := nv.(float64)
+			if oldNum && newNum {
+				delta := nn - on
+				pct := "n/a"
+				if on != 0 {
+					pct = fmt.Sprintf("%+.1f%%", 100*delta/math.Abs(on))
+				}
+				sign := ""
+				if delta >= 0 {
+					sign = "+"
+				}
+				fmt.Fprintf(w, "%-58s %14s %14s %14s %9s\n",
+					path, fmtNum(on), fmtNum(nn), sign+fmtNum(delta), pct)
+			} else {
+				fmt.Fprintf(w, "%-58s %14v %14v\n", path, ov, nv)
+			}
+		}
+	}
+	for _, path := range added {
+		fmt.Fprintf(w, "added:   %s = %v\n", path, newFlat[path])
+	}
+	for _, path := range removed {
+		fmt.Fprintf(w, "removed: %s = %v\n", path, oldFlat[path])
+	}
+	fmt.Fprintf(w, "%d changed, %d added, %d removed, %d unchanged\n",
+		len(changed), len(added), len(removed), unchanged)
+	return nil
+}
+
+func loadResults(path string) (any, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("diff: %w", err)
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("diff: %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// flatten walks the JSON document into dotted leaf paths: maps become
+// "a.b", arrays "a[0]". Leaves are numbers, strings, bools and nulls.
+func flatten(prefix string, v any) map[string]any {
+	out := make(map[string]any)
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			for kk, vv := range flatten(p, t[k]) {
+				out[kk] = vv
+			}
+		}
+	case []any:
+		for i, e := range t {
+			for kk, vv := range flatten(fmt.Sprintf("%s[%d]", prefix, i), e) {
+				out[kk] = vv
+			}
+		}
+	default:
+		out[prefix] = v
+	}
+	return out
+}
+
+func fmtNum(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e12 {
+		return fmt.Sprintf("%.0f", f)
+	}
+	return fmt.Sprintf("%.3f", f)
+}

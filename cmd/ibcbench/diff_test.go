@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffReportsDeltas(t *testing.T) {
+	oldPath := writeTemp(t, "old.json", `{
+		"topo": {"Throughput": {"Mean": 100.0, "N": 3}, "Spec": "hub:4"},
+		"rows": [{"Rate": 20, "TFPS": 80.0}],
+		"gone": 1
+	}`)
+	newPath := writeTemp(t, "new.json", `{
+		"topo": {"Throughput": {"Mean": 110.0, "N": 3}, "Spec": "hub:4"},
+		"rows": [{"Rate": 20, "TFPS": 72.0}],
+		"fresh": true
+	}`)
+	var sb strings.Builder
+	if err := runDiff(oldPath, newPath, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"topo.Throughput.Mean", "+10", "+10.0%",
+		"rows[0].TFPS", "-8", "-10.0%",
+		"added:   fresh", "removed: gone",
+		"3 unchanged",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// Unchanged metrics (Spec, N, Rate) are not listed as changed rows.
+	if strings.Contains(out, "topo.Spec ") {
+		t.Fatalf("unchanged metric listed:\n%s", out)
+	}
+}
+
+func TestDiffIdenticalFiles(t *testing.T) {
+	p := writeTemp(t, "same.json", `{"a": 1, "b": {"c": [1, 2]}}`)
+	var sb strings.Builder
+	if err := runDiff(p, p, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no differences") {
+		t.Fatalf("identical files reported differences:\n%s", sb.String())
+	}
+}
+
+func TestDiffMissingFile(t *testing.T) {
+	p := writeTemp(t, "a.json", `{}`)
+	var sb strings.Builder
+	if err := runDiff(p, filepath.Join(t.TempDir(), "missing.json"), &sb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

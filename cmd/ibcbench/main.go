@@ -9,12 +9,16 @@
 //	ibcbench -experiment fig8 -seeds 5  # one artifact
 //	ibcbench -experiment fig12 -transfers 5000
 //	ibcbench -experiment topo -topology hub:4 -rate 20
-//	ibcbench -experiment topo -out results.json   # persist results as JSON
+//	ibcbench -experiment topo -forwarding          # routes via packet forwarding
+//	ibcbench -experiment forward -topology line:4  # forwarded vs sequential curves
+//	ibcbench -experiment topo -out results.json    # persist results as JSON
+//	ibcbench -diff old.json new.json               # compare two -out files
 //
 // Sweeps fan (config, seed) executions out over a worker pool
 // (-workers, default GOMAXPROCS); results are identical to serial runs.
 // With -out, every experiment that ran dumps its result structs to one
-// JSON document for cross-PR regression tracking of reproduced figures.
+// JSON document for cross-PR regression tracking of reproduced figures;
+// -diff compares two such documents metric by metric.
 package main
 
 import (
@@ -37,18 +41,26 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ibcbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|all")
-		seeds     = fs.Int("seeds", 3, "executions per configuration (paper: 20)")
-		windows   = fs.Int("windows", 0, "submission block windows (0 = paper default)")
-		transfers = fs.Int("transfers", 5000, "transfers for fig12/fig13")
-		seed      = fs.Int64("seed", 42, "base RNG seed")
-		topology  = fs.String("topology", "hub:4", "topo experiment graph: two|line:n|hub:n|mesh:n")
-		rate      = fs.Int("rate", 20, "per-edge input rate (rps) for the topo experiment")
-		workers   = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
-		out       = fs.String("out", "", "write every experiment's result as JSON to this file (cross-PR regression tracking)")
+		exp        = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|forward|all")
+		seeds      = fs.Int("seeds", 3, "executions per configuration (paper: 20)")
+		windows    = fs.Int("windows", 0, "submission block windows (0 = paper default)")
+		transfers  = fs.Int("transfers", 5000, "transfers for fig12/fig13")
+		seed       = fs.Int64("seed", 42, "base RNG seed")
+		topology   = fs.String("topology", "hub:4", "topo/forward experiment graph: two|line:n|hub:n|mesh:n")
+		rate       = fs.Int("rate", 20, "per-edge input rate (rps) for topo; transfers per route for forward")
+		forwarding = fs.Bool("forwarding", false, "run topo multi-hop routes through the packet-forward middleware instead of sequential legs")
+		workers    = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+		out        = fs.String("out", "", "write every experiment's result as JSON to this file (cross-PR regression tracking)")
+		diffOld    = fs.String("diff", "", "compare this -out result file against the positional argument and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diffOld != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: ibcbench -diff old.json new.json")
+		}
+		return runDiff(*diffOld, fs.Arg(0), os.Stdout)
 	}
 	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -139,11 +151,23 @@ func run(args []string) error {
 		fmt.Println()
 	}
 	if want("topo") {
-		res, err := experiments.TopologySweep(opt, *topology, *rate)
+		res, err := experiments.TopologySweepMode(opt, *topology, *rate, *forwarding)
 		if err != nil {
 			return err
 		}
 		record("topo", res)
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
+	if want("forward") {
+		// Latency-vs-hops: both route modes side by side from one run per
+		// hop count. The default hub graph reproduces the paper-style hub
+		// scenario (spoke -> hub -> spoke).
+		res, err := experiments.ForwardingComparison(opt, *topology, *rate)
+		if err != nil {
+			return err
+		}
+		record("forward", res)
 		res.Render(os.Stdout)
 		fmt.Println()
 	}
@@ -162,7 +186,7 @@ func run(args []string) error {
 		report["args"] = map[string]any{
 			"experiment": *exp, "seeds": *seeds, "windows": *windows,
 			"transfers": *transfers, "seed": *seed, "topology": *topology,
-			"rate": *rate, "workers": *workers,
+			"rate": *rate, "forwarding": *forwarding, "workers": *workers,
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

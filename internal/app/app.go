@@ -52,6 +52,23 @@ type Context struct {
 	State   *State
 	Bank    *Bank
 	App     *App
+
+	// events accumulates module-emitted events during message execution.
+	// Modules nested below the routed handler (middleware such as packet
+	// forwarding) cannot thread events through return values, so they emit
+	// here; DeliverTx drains after each successful message and discards on
+	// failure, matching the state rollback.
+	events []abci.Event
+}
+
+// Emit appends events to the transaction's event stream.
+func (c *Context) Emit(evs ...abci.Event) { c.events = append(c.events, evs...) }
+
+// TakeEvents drains and returns the accumulated events.
+func (c *Context) TakeEvents() []abci.Event {
+	evs := c.events
+	c.events = nil
+	return evs
 }
 
 // Handler executes one message kind.
@@ -319,6 +336,7 @@ func (a *App) DeliverTx(tx types.Tx) abci.TxResult {
 			res.GasUsed += r.GasUsed
 		}
 		if err != nil {
+			ctx.TakeEvents() // failed msg: its events vanish with its writes
 			a.state.AbortTx()
 			a.txsFailed++
 			res.Code = 4
@@ -329,6 +347,7 @@ func (a *App) DeliverTx(tx types.Tx) abci.TxResult {
 		if r != nil {
 			res.Events = append(res.Events, r.Events...)
 		}
+		res.Events = append(res.Events, ctx.TakeEvents()...)
 		if res.GasUsed > t.GasLimit {
 			a.state.AbortTx()
 			a.txsFailed++

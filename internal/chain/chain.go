@@ -13,6 +13,7 @@ import (
 	"ibcbench/internal/app"
 	"ibcbench/internal/eventindex"
 	"ibcbench/internal/ibc"
+	"ibcbench/internal/ibc/pfm"
 	"ibcbench/internal/ibc/transfer"
 	"ibcbench/internal/netem"
 	"ibcbench/internal/sim"
@@ -42,10 +43,13 @@ type Chain struct {
 	App      *app.App
 	Keeper   *ibc.Keeper
 	Transfer *transfer.Module
-	Pool     *mempool.Pool
-	Store    *store.Store
-	Engine   *consensus.Engine
-	RPC      *rpc.Server // primary full node
+	// Forward is the packet-forward middleware stacked over Transfer on
+	// the ICS-20 port (multi-hop routes via packet memos).
+	Forward *pfm.Middleware
+	Pool    *mempool.Pool
+	Store   *store.Store
+	Engine  *consensus.Engine
+	RPC     *rpc.Server // primary full node
 	// Events is the chain's shared event index: one decode pass per
 	// committed block, consumed by every RPC node's subscribers.
 	Events *eventindex.Index
@@ -61,6 +65,9 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 	a := app.New(cfg.ChainID, cfg.FullProofs)
 	keeper := ibc.NewKeeper(a)
 	xfer := transfer.New(a, keeper)
+	// The middleware stack: PFM rebinds the transfer port, delegating
+	// plain packets to the transfer module underneath.
+	fwd := pfm.New(keeper, xfer)
 	pool := mempool.New(mempool.DefaultConfig(), a.CheckTx)
 	stor := store.New(cfg.ChainID)
 
@@ -82,6 +89,7 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 		App:      a,
 		Keeper:   keeper,
 		Transfer: xfer,
+		Forward:  fwd,
 		Pool:     pool,
 		Store:    stor,
 		Engine:   engine,

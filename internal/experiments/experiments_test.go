@@ -144,3 +144,28 @@ func TestWebSocketLimit(t *testing.T) {
 	}
 	_ = metrics.StatusCompleted
 }
+
+func TestForwardingComparisonShape(t *testing.T) {
+	res, err := ForwardingComparison(Options{Seeds: 1, Workers: 1}, "line:3", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transfers != 2 || len(res.Rows) != 2 {
+		t.Fatalf("rows = %d (transfers %d), want the 1- and 2-hop curves", len(res.Rows), res.Transfers)
+	}
+	for _, row := range res.Rows {
+		if row.SeqCompleted != 1 || row.FwdCompleted != 1 {
+			t.Fatalf("hops %d: completed %d/%d", row.Hops, row.SeqCompleted, row.FwdCompleted)
+		}
+	}
+	// Single-hop routes are identical in both modes (no middleware leg);
+	// multi-hop forwarded routes must beat sequential legs.
+	multi := res.Rows[1]
+	if multi.Hops != 2 || multi.Forwarded.Mean >= multi.Sequential.Mean {
+		t.Fatalf("2-hop forwarded %.1fs not under sequential %.1fs",
+			multi.Forwarded.Mean, multi.Sequential.Mean)
+	}
+	if multi.Speedup <= 1 {
+		t.Fatalf("speedup = %.2f", multi.Speedup)
+	}
+}

@@ -32,6 +32,13 @@ type TopologyResult struct {
 // lowest-indexed non-adjacent leaves, exercised as sequential transfers.
 // Seeds run concurrently on the parallel runner.
 func TopologySweep(opt Options, spec string, rate int) (TopologyResult, error) {
+	return TopologySweepMode(opt, spec, rate, false)
+}
+
+// TopologySweepMode is TopologySweep with the route mode as an explicit
+// experiment axis: forwarded routes ride the packet-forward middleware
+// instead of sequential legs.
+func TopologySweepMode(opt Options, spec string, rate int, forwarded bool) (TopologyResult, error) {
 	tp, err := topo.ParseSpec(spec)
 	if err != nil {
 		return TopologyResult{}, err
@@ -53,7 +60,7 @@ func TopologySweep(opt Options, spec string, rate int) (TopologyResult, error) {
 		sc.EdgeRates[i] = rate
 	}
 	if route := demoRoute(tp); route != nil {
-		sc.Routes = []topo.Route{{Path: route, Transfers: rate}}
+		sc.Routes = []topo.Route{{Path: route, Transfers: rate, Forwarded: forwarded}}
 	}
 	seeds := make([]int64, opt.seeds())
 	for i := range seeds {

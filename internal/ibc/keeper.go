@@ -32,10 +32,15 @@ var (
 )
 
 // PortModule is a packet-handling application module bound to a port
-// (ICS-5/ICS-26). The transfer module implements it.
+// (ICS-5/ICS-26). The transfer module implements it; middleware (packet
+// forwarding) wraps it.
 type PortModule interface {
-	// OnRecvPacket processes an inbound packet and returns the ack.
-	OnRecvPacket(ctx *app.Context, packet Packet) Acknowledgement
+	// OnRecvPacket processes an inbound packet and returns the ack. A nil
+	// return means the acknowledgement is asynchronous: the module (or a
+	// middleware above it) will deliver it later via the keeper's
+	// WriteAcknowledgement — the mechanism packet-forward middleware uses
+	// to hold the origin's ack open until the next hop settles.
+	OnRecvPacket(ctx *app.Context, packet Packet) *Acknowledgement
 	// OnAcknowledgementPacket processes an ack for a sent packet.
 	OnAcknowledgementPacket(ctx *app.Context, packet Packet, ack Acknowledgement) error
 	// OnTimeoutPacket reverts a packet that timed out.
@@ -201,7 +206,7 @@ func (k *Keeper) handle(ctx *app.Context, msg app.Msg) (*app.Result, error) {
 	case MsgChanOpenConfirm:
 		err = k.chanOpenConfirm(ctx, m)
 	case MsgRecvPacket:
-		res.Events, err = k.recvPacket(ctx, m)
+		err = k.recvPacket(ctx, m)
 	case MsgAcknowledgement:
 		err = k.acknowledgePacket(ctx, m)
 	case MsgTimeout:
@@ -526,52 +531,88 @@ func (k *Keeper) nextSequenceSend(ctx *app.Context, port, channel string) uint64
 }
 
 // recvPacket verifies and executes an inbound packet, writing the
-// receipt and acknowledgement.
-func (k *Keeper) recvPacket(ctx *app.Context, m MsgRecvPacket) ([]abci.Event, error) {
+// receipt and — unless the port module answers asynchronously — the
+// acknowledgement. Events flow through ctx.Emit so that packets emitted
+// by middleware during OnRecvPacket (forwarded next hops) land in the
+// same transaction result.
+func (k *Keeper) recvPacket(ctx *app.Context, m MsgRecvPacket) error {
 	p := m.Packet
 	clientID, ch, err := k.clientForChannel(ctx, p.DestPort, p.DestChannel)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ch.State != StateOpen {
-		return nil, fmt.Errorf("%w: %s/%s", ErrChannelNotOpen, p.DestPort, p.DestChannel)
+		return fmt.Errorf("%w: %s/%s", ErrChannelNotOpen, p.DestPort, p.DestChannel)
 	}
 	if ch.CounterpartyPort != p.SourcePort || ch.CounterpartyChan != p.SourceChannel {
-		return nil, fmt.Errorf("ibc: packet route mismatch")
+		return fmt.Errorf("ibc: packet route mismatch")
 	}
 	if timeoutElapsed(&p, ctx.Height, ctx.Time) {
-		return nil, fmt.Errorf("%w: height %d time %v", ErrPacketTimedOut, ctx.Height, ctx.Time)
+		return fmt.Errorf("%w: height %d time %v", ErrPacketTimedOut, ctx.Height, ctx.Time)
 	}
 	// Unordered channel: exactly-once via receipts.
 	receiptKey := PacketReceiptKey(p.DestPort, p.DestChannel, p.Sequence)
 	if ctx.State.Has(receiptKey) {
-		return nil, fmt.Errorf("%w: %s/%s seq %d", ErrRedundantPacket, p.SourcePort, p.SourceChannel, p.Sequence)
+		return fmt.Errorf("%w: %s/%s seq %d", ErrRedundantPacket, p.SourcePort, p.SourceChannel, p.Sequence)
 	}
 	// Verify the source chain committed this packet.
 	if err := k.verifyMembership(ctx, clientID, m.ProofHeight,
 		PacketCommitmentKey(p.SourcePort, p.SourceChannel, p.Sequence),
 		p.CommitmentBytes(), m.ProofCommitment); err != nil {
-		return nil, err
+		return err
 	}
 	ctx.State.Set(receiptKey, []byte{1})
 
 	mod, ok := k.ports[p.DestPort]
 	if !ok {
-		return nil, fmt.Errorf("ibc: no module bound to port %s", p.DestPort)
+		return fmt.Errorf("ibc: no module bound to port %s", p.DestPort)
 	}
 	ack := mod.OnRecvPacket(ctx, p)
-	ctx.State.Set(PacketAckKey(p.DestPort, p.DestChannel, p.Sequence), hashAck(ack.Bytes()))
+	if ack == nil {
+		// Asynchronous acknowledgement: the receipt blocks redelivery; a
+		// middleware writes the ack once the downstream leg settles.
+		return nil
+	}
+	return k.WriteAcknowledgement(ctx, p, *ack)
+}
 
+// WriteAcknowledgement stores the acknowledgement for a received packet
+// and emits the write_acknowledgement event relayers turn into
+// MsgAcknowledgements. Port modules answering synchronously never call
+// it directly; async middleware (packet forwarding) calls it when the
+// downstream hop acks, errors or times out.
+func (k *Keeper) WriteAcknowledgement(ctx *app.Context, p Packet, ack Acknowledgement) error {
+	key := PacketAckKey(p.DestPort, p.DestChannel, p.Sequence)
+	if ctx.State.Has(key) {
+		return fmt.Errorf("ibc: acknowledgement for %s/%s seq %d already written",
+			p.DestPort, p.DestChannel, p.Sequence)
+	}
+	ctx.State.Set(key, hashAck(ack.Bytes()))
 	raw, _ := json.Marshal(p)
-	ev := abci.Event{
+	ctx.Emit(abci.Event{
 		Type: "write_acknowledgement",
 		Attributes: map[string]string{
 			"packet":   string(raw),
 			"ack":      string(ack.Bytes()),
 			"sequence": fmt.Sprint(p.Sequence),
 		},
+	})
+	return nil
+}
+
+// LatestClientHeight reports the counterparty height of the light client
+// a channel's packets are verified against — the on-chain information a
+// forwarding middleware has for choosing next-hop timeout heights.
+func (k *Keeper) LatestClientHeight(ctx *app.Context, port, channel string) (int64, error) {
+	clientID, _, err := k.clientForChannel(ctx, port, channel)
+	if err != nil {
+		return 0, err
 	}
-	return []abci.Event{ev}, nil
+	cs, err := k.Client(ctx, clientID)
+	if err != nil {
+		return 0, err
+	}
+	return cs.LatestHeight, nil
 }
 
 // acknowledgePacket completes the transfer on the source chain.

@@ -6,19 +6,21 @@
 // Tokens sent through different channels receive different trace-prefixed
 // denominations and are therefore not fungible with each other — the
 // downside the paper notes for scaling throughput with per-relayer
-// channels (§IV-A).
+// channels (§IV-A). Escrow/mint/burn decisions follow full ICS-20 trace
+// semantics (internal/ibc/denom), so multi-hop vouchers nest and unwind
+// correctly instead of being treated as opaque single-hop prefixes.
 package transfer
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"ibcbench/internal/abci"
 	"ibcbench/internal/app"
 	"ibcbench/internal/ibc"
+	"ibcbench/internal/ibc/denom"
 	"ibcbench/internal/simconf"
 )
 
@@ -43,6 +45,9 @@ type MsgTransfer struct {
 	TimeoutHeight int64
 	// TimeoutTimestamp is the destination block-time deadline.
 	TimeoutTimestamp time.Duration
+	// Memo is the free-form packet memo; the packet-forward middleware
+	// interprets a {"forward":...} payload (see internal/ibc/pfm).
+	Memo string
 	// Nonce disambiguates otherwise-identical transfers in a batch.
 	Nonce uint64
 }
@@ -54,12 +59,18 @@ func (MsgTransfer) Route() string { return PortID }
 func (MsgTransfer) MsgType() string { return "MsgTransfer" }
 
 // WireSize implements app.Msg.
-func (MsgTransfer) WireSize() int { return simconf.MsgTransferBytes }
+func (m MsgTransfer) WireSize() int { return simconf.MsgTransferBytes + len(m.Memo) }
 
-// Digest binds the transfer's content into the enclosing tx hash.
+// Digest binds the transfer's content into the enclosing tx hash. The
+// memo contributes only when present, keeping memo-less digests (and the
+// fingerprints pinned on them) unchanged.
 func (m MsgTransfer) Digest() []byte {
-	return []byte(fmt.Sprintf("xfer/%s/%s/%s/%s/%d",
-		m.Sender, m.Receiver, m.Token, m.SourceChannel, m.Nonce))
+	d := fmt.Sprintf("xfer/%s/%s/%s/%s/%d",
+		m.Sender, m.Receiver, m.Token, m.SourceChannel, m.Nonce)
+	if m.Memo != "" {
+		d += "/" + m.Memo
+	}
+	return []byte(d)
 }
 
 // PacketData is the ICS-20 packet payload.
@@ -68,6 +79,7 @@ type PacketData struct {
 	Amount   uint64 `json:"amount"`
 	Sender   string `json:"sender"`
 	Receiver string `json:"receiver"`
+	Memo     string `json:"memo,omitempty"`
 }
 
 // Module is the ICS-20 application module for one chain.
@@ -90,6 +102,9 @@ func New(a *app.App, k *ibc.Keeper) *Module {
 	a.RegisterRoute(PortID, m.handleMsg)
 	return m
 }
+
+// Keeper exposes the IBC keeper the module sends packets through.
+func (m *Module) Keeper() *ibc.Keeper { return m.keeper }
 
 // Stats reports (sent, received, acked, refunded) packet counts.
 func (m *Module) Stats() (sent, received, acked, refunded uint64) {
@@ -114,7 +129,7 @@ func (m *Module) handleMsg(ctx *app.Context, msg app.Msg) (*app.Result, error) {
 		return nil, fmt.Errorf("transfer: unexpected msg %T", msg)
 	}
 	res := &app.Result{GasUsed: app.MsgGas(mt.MsgType())}
-	ev, err := m.sendTransfer(ctx, mt)
+	_, ev, err := m.SendTransfer(ctx, mt)
 	if err != nil {
 		return res, err
 	}
@@ -122,19 +137,21 @@ func (m *Module) handleMsg(ctx *app.Context, msg app.Msg) (*app.Result, error) {
 	return res, nil
 }
 
-// sendTransfer escrows or burns the token and emits the packet.
-func (m *Module) sendTransfer(ctx *app.Context, mt MsgTransfer) ([]abci.Event, error) {
-	prefix := VoucherPrefix(mt.SourcePort, mt.SourceChannel)
-	if strings.HasPrefix(mt.Token.Denom, prefix) {
-		// Voucher returning to its origin: burn here, unescrow there.
-		if err := ctx.Bank.Burn(mt.Sender, mt.Token); err != nil {
-			return nil, err
-		}
-	} else {
-		// This chain is the token source: lock in the channel escrow.
+// SendTransfer escrows or burns the token per trace rules and emits the
+// packet. Exported so middleware (packet forwarding) can originate the
+// next hop of a multi-hop route inside the receiving transaction.
+func (m *Module) SendTransfer(ctx *app.Context, mt MsgTransfer) (ibc.Packet, []abci.Event, error) {
+	if denom.SenderChainIsSource(mt.SourcePort, mt.SourceChannel, mt.Token.Denom) {
+		// This chain is the token's source zone relative to the outgoing
+		// channel: lock in the channel escrow.
 		escrow := EscrowAccount(mt.SourcePort, mt.SourceChannel)
 		if err := ctx.Bank.Send(mt.Sender, escrow, mt.Token); err != nil {
-			return nil, err
+			return ibc.Packet{}, nil, err
+		}
+	} else {
+		// Voucher returning toward its origin: burn here, unescrow there.
+		if err := ctx.Bank.Burn(mt.Sender, mt.Token); err != nil {
+			return ibc.Packet{}, nil, err
 		}
 	}
 	data, err := json.Marshal(PacketData{
@@ -142,41 +159,64 @@ func (m *Module) sendTransfer(ctx *app.Context, mt MsgTransfer) ([]abci.Event, e
 		Amount:   mt.Token.Amount,
 		Sender:   mt.Sender,
 		Receiver: mt.Receiver,
+		Memo:     mt.Memo,
 	})
 	if err != nil {
-		return nil, err
+		return ibc.Packet{}, nil, err
 	}
-	_, events, err := m.keeper.SendPacket(ctx, mt.SourcePort, mt.SourceChannel,
+	p, events, err := m.keeper.SendPacket(ctx, mt.SourcePort, mt.SourceChannel,
 		data, mt.TimeoutHeight, mt.TimeoutTimestamp)
 	if err != nil {
-		return nil, err
+		return ibc.Packet{}, nil, err
 	}
 	m.sent++
-	return events, nil
+	return p, events, nil
+}
+
+// ReceiveFunds executes the fund-movement half of packet receipt,
+// crediting `receiver` with the locally valid coin: trim-and-unescrow
+// when the token is returning to this zone, prefix-and-mint otherwise.
+// It reports the credited coin and whether the unescrow path ran (the
+// information an unwinding middleware needs to reverse it).
+func (m *Module) ReceiveFunds(ctx *app.Context, p ibc.Packet, data PacketData, receiver string) (app.Coin, bool, error) {
+	tr := denom.Parse(data.Denom)
+	if tr.HasPrefix(p.SourcePort, p.SourceChannel) {
+		// Token is returning home: release from this chain's escrow.
+		coin := app.Coin{Denom: tr.TrimPrefix().String(), Amount: data.Amount}
+		escrow := EscrowAccount(p.DestPort, p.DestChannel)
+		if err := ctx.Bank.Send(escrow, receiver, coin); err != nil {
+			return app.Coin{}, false, err
+		}
+		return coin, true, nil
+	}
+	// Mint a voucher with this channel's trace prefix.
+	coin := app.Coin{Denom: tr.AddPrefix(p.DestPort, p.DestChannel).String(), Amount: data.Amount}
+	ctx.Bank.Mint(receiver, coin)
+	return coin, false, nil
+}
+
+// UndoReceive reverses a ReceiveFunds: re-escrow an unescrowed coin or
+// burn a minted voucher held by `holder`. Used by forwarding middleware
+// when a downstream hop fails after the local receive leg ran.
+func (m *Module) UndoReceive(ctx *app.Context, p ibc.Packet, coin app.Coin, unescrowed bool, holder string) error {
+	if unescrowed {
+		return ctx.Bank.Send(holder, EscrowAccount(p.DestPort, p.DestChannel), coin)
+	}
+	return ctx.Bank.Burn(holder, coin)
 }
 
 // OnRecvPacket implements ibc.PortModule: mint a voucher or unescrow the
-// original token.
-func (m *Module) OnRecvPacket(ctx *app.Context, p ibc.Packet) ibc.Acknowledgement {
+// original token for the packet's receiver.
+func (m *Module) OnRecvPacket(ctx *app.Context, p ibc.Packet) *ibc.Acknowledgement {
 	var data PacketData
 	if err := json.Unmarshal(p.Data, &data); err != nil {
-		return ibc.Acknowledgement{Error: ErrBadPacketData.Error()}
+		return &ibc.Acknowledgement{Error: ErrBadPacketData.Error()}
 	}
-	srcPrefix := VoucherPrefix(p.SourcePort, p.SourceChannel)
-	if strings.HasPrefix(data.Denom, srcPrefix) {
-		// Token is returning home: release from this chain's escrow.
-		unwrapped := strings.TrimPrefix(data.Denom, srcPrefix)
-		escrow := EscrowAccount(p.DestPort, p.DestChannel)
-		if err := ctx.Bank.Send(escrow, data.Receiver, app.Coin{Denom: unwrapped, Amount: data.Amount}); err != nil {
-			return ibc.Acknowledgement{Error: err.Error()}
-		}
-	} else {
-		// Mint a voucher with this channel's trace prefix.
-		voucher := VoucherPrefix(p.DestPort, p.DestChannel) + data.Denom
-		ctx.Bank.Mint(data.Receiver, app.Coin{Denom: voucher, Amount: data.Amount})
+	if _, _, err := m.ReceiveFunds(ctx, p, data, data.Receiver); err != nil {
+		return &ibc.Acknowledgement{Error: err.Error()}
 	}
 	m.received++
-	return ibc.Acknowledgement{Result: []byte("AQ==")}
+	return &ibc.Acknowledgement{Result: []byte("AQ==")}
 }
 
 // OnAcknowledgementPacket implements ibc.PortModule: refund on error ack.
@@ -185,7 +225,7 @@ func (m *Module) OnAcknowledgementPacket(ctx *app.Context, p ibc.Packet, ack ibc
 		m.acked++
 		return nil
 	}
-	return m.refund(ctx, p)
+	return m.RefundPacket(ctx, p)
 }
 
 // OnTimeoutPacket implements ibc.PortModule: undo the escrow/burn, the
@@ -193,17 +233,19 @@ func (m *Module) OnAcknowledgementPacket(ctx *app.Context, p ibc.Packet, ack ibc
 // that were previously held locked while the transfer request was
 // pending").
 func (m *Module) OnTimeoutPacket(ctx *app.Context, p ibc.Packet) error {
-	return m.refund(ctx, p)
+	return m.RefundPacket(ctx, p)
 }
 
-func (m *Module) refund(ctx *app.Context, p ibc.Packet) error {
+// RefundPacket reverses the send leg of a failed packet: re-mint a
+// burned voucher or release the escrow back to the sender. Exported so
+// forwarding middleware can unwind its own hop sends.
+func (m *Module) RefundPacket(ctx *app.Context, p ibc.Packet) error {
 	var data PacketData
 	if err := json.Unmarshal(p.Data, &data); err != nil {
 		return ErrBadPacketData
 	}
 	coin := app.Coin{Denom: data.Denom, Amount: data.Amount}
-	prefix := VoucherPrefix(p.SourcePort, p.SourceChannel)
-	if strings.HasPrefix(data.Denom, prefix) {
+	if denom.ReceiverChainIsSource(p.SourcePort, p.SourceChannel, data.Denom) {
 		// The burned voucher is re-minted.
 		ctx.Bank.Mint(data.Sender, coin)
 	} else {

@@ -274,6 +274,39 @@ func (t *Tracker) StepSpan(step Step) (first, last time.Duration, ok bool) {
 	return curve[0], curve[len(curve)-1], true
 }
 
+// Series is a named ordered collection of duration samples — e.g. the
+// per-transfer arrival latencies of one hop of a multi-hop route.
+type Series struct {
+	Name    string
+	Samples []time.Duration
+}
+
+// Add appends a sample.
+func (s *Series) Add(d time.Duration) { s.Samples = append(s.Samples, d) }
+
+// Len reports the sample count.
+func (s Series) Len() int { return len(s.Samples) }
+
+// Max returns the largest sample (0 when empty).
+func (s Series) Max() time.Duration {
+	var m time.Duration
+	for _, d := range s.Samples {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Dist summarizes the series in seconds.
+func (s Series) Dist() Dist {
+	samples := make([]float64, len(s.Samples))
+	for i, d := range s.Samples {
+		samples[i] = d.Seconds()
+	}
+	return Summarize(samples)
+}
+
 // Dist is a five-number-plus-moments summary used for violin plots.
 type Dist struct {
 	N         int

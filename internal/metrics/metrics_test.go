@@ -128,3 +128,23 @@ func TestSummarizeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSeries(t *testing.T) {
+	s := Series{Name: "hop-1"}
+	if s.Len() != 0 || s.Max() != 0 {
+		t.Fatalf("empty series: len=%d max=%v", s.Len(), s.Max())
+	}
+	s.Add(2 * time.Second)
+	s.Add(5 * time.Second)
+	s.Add(3 * time.Second)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Max() != 5*time.Second {
+		t.Fatalf("max = %v", s.Max())
+	}
+	d := s.Dist()
+	if d.N != 3 || d.Min != 2 || d.Max != 5 {
+		t.Fatalf("dist = %+v", d)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"ibcbench/internal/chain"
+	"ibcbench/internal/ibc/pfm"
+	"ibcbench/internal/ibc/transfer"
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/netem"
 	"ibcbench/internal/relayer"
@@ -75,22 +77,33 @@ func (l *Link) newGenerator(src, dst *chain.Chain, channel, dir string) *workloa
 	return g
 }
 
-// newRouteGenerator creates a dedicated generator for one route leg from
-// the given node across this link. Route legs never share a generator
-// with edge-rate traffic (or other legs), so the generator's PacketKeys
-// attribute the leg's packets exactly on a busy shared channel.
-func (l *Link) newRouteGenerator(from int) *workload.Generator {
+// newRouteGenerator creates a dedicated generator for leg `hop` of route
+// `route`, departing the given node across this link. Route legs never
+// share a generator with edge-rate traffic (or other legs), so the
+// generator's PacketKeys attribute the leg's packets exactly on a busy
+// shared channel. The account prefix derives from (route, hop) — not a
+// deploy-order counter — so reruns are byte-identical regardless of the
+// order legs start in.
+func (l *Link) newRouteGenerator(from, route, hop int) *workload.Generator {
 	d := l.dep
-	d.routeGens++
 	src, dst, channel := l.Pair.A, l.Pair.B, l.Pair.ChannelAB
 	if d.Chains[from] != l.Pair.A {
 		src, dst, channel = l.Pair.B, l.Pair.A, l.Pair.ChannelBA
 	}
 	g := workload.NewOnChannel(d.Sched, d.RNG, src, dst, channel,
 		l.Relayers[0].EndpointRPC(src.ID), l.Tracker)
-	g.AccountPrefix = fmt.Sprintf("route-%d", d.routeGens)
+	g.AccountPrefix = fmt.Sprintf("route-r%d-h%d", route, hop)
 	l.legGens = append(l.legGens, g)
 	return g
+}
+
+// ChannelFrom reports the channel identifier on the `from` side of the
+// link.
+func (l *Link) ChannelFrom(from int) string {
+	if l.dep.Chains[from] == l.Pair.A {
+		return l.Pair.ChannelAB
+	}
+	return l.Pair.ChannelBA
 }
 
 // Deployment is one instantiated topology.
@@ -101,9 +114,31 @@ type Deployment struct {
 	RNG      *sim.RNG
 	Chains   []*chain.Chain
 	Links    []*Link
+}
 
-	// routeGens numbers route-leg generators for account namespacing.
-	routeGens int
+// ForwardMemo builds the nested packet-forward memo that routes a
+// transfer along path: one ForwardMetadata per intermediate chain, each
+// naming that chain's outgoing channel toward the next node and carrying
+// the rest of the route in Next. A two-node path needs no forwarding and
+// yields "". timeoutBlocks (0 = middleware default) applies per hop.
+func (d *Deployment) ForwardMemo(path []int, finalReceiver string, timeoutBlocks int64) (string, error) {
+	var next *pfm.ForwardMetadata
+	// Build innermost-first: hop j runs on chain path[j], sending to
+	// path[j+1].
+	for j := len(path) - 2; j >= 1; j-- {
+		link, ok := d.LinkBetween(path[j], path[j+1])
+		if !ok {
+			return "", fmt.Errorf("topo: forward memo: no link %d-%d", path[j], path[j+1])
+		}
+		next = &pfm.ForwardMetadata{
+			Receiver:      finalReceiver,
+			Port:          transfer.PortID,
+			Channel:       link.ChannelFrom(path[j]),
+			TimeoutBlocks: timeoutBlocks,
+			Next:          next,
+		}
+	}
+	return pfm.Memo(next), nil
 }
 
 // Deploy instantiates the topology: a shared scheduler/network, one chain

@@ -17,15 +17,30 @@ import (
 )
 
 // Route is one multi-hop transfer flow: Transfers tokens moved along the
-// node path, each leg submitted once the previous leg's transfers have
-// fully completed on its edge (IBC has no native packet forwarding; the
-// paper's tool and real deployments chain ICS-20 transfers the same way).
+// node path. The default (sequential) mode submits each leg as its own
+// user transfer once the previous leg's transfers have fully completed
+// on its edge — the way deployments without packet forwarding chain
+// ICS-20 transfers. Forwarded mode instead issues a single user transfer
+// carrying a nested forward memo; the packet-forward middleware on each
+// intermediate chain emits hop 2+ within the receiving block and the
+// origin's acknowledgement settles only when the whole route does.
 type Route struct {
 	// Path is the node sequence; consecutive nodes must share an edge.
 	Path []int
 	// Transfers is the batch size moved along the path.
 	Transfers int
+	// Forwarded selects native packet forwarding over sequential legs.
+	Forwarded bool
+	// TimeoutBlocks overrides the middleware's per-hop timeout margin in
+	// Forwarded mode (0 = pfm default). Tiny values inject hop timeouts
+	// for refund-unwinding experiments.
+	TimeoutBlocks int64
 }
+
+// RouteReceiver names the final recipient account of route idx, the
+// account whose balance holds the delivered (possibly nested) voucher in
+// Forwarded mode.
+func RouteReceiver(idx int) string { return fmt.Sprintf("route-r%d-recv", idx) }
 
 // Scenario bundles everything one experiment execution needs.
 type Scenario struct {
@@ -53,6 +68,24 @@ type EdgeReport struct {
 	Relayers   []relayer.Stats
 }
 
+// RouteReport is the per-route slice of a scenario result.
+type RouteReport struct {
+	Route     int
+	Path      []int
+	Forwarded bool
+	Transfers int
+	// Completed reports whether every transfer's packet lifecycle settled
+	// end to end (in Forwarded mode, the origin ack — success or unwound
+	// refund — confirmed).
+	Completed bool
+	// Latency is virtual time from route start to full completion.
+	Latency time.Duration
+	// Hops holds per-hop arrival series: sample k of series i is the
+	// latency from route start until a transfer's hop-i packet was
+	// confirmed received on chain Path[i+1].
+	Hops []metrics.Series
+}
+
 // Result aggregates one scenario execution.
 type Result struct {
 	Name     string
@@ -65,13 +98,24 @@ type Result struct {
 	Throughput float64
 	// RoutesCompleted counts routes whose every leg fully completed.
 	RoutesCompleted int
+	// Routes reports each multi-hop route's mode, latency and hop series.
+	Routes []RouteReport
 }
 
 // routeRun tracks one in-flight multi-hop route.
 type routeRun struct {
 	route Route
+	idx   int
 	hop   int // current leg index (Path[hop] -> Path[hop+1])
 	done  bool
+
+	startedAt time.Duration
+	doneAt    time.Duration
+	// legs/links record the generators and edges the route used, for
+	// hop-latency attribution (one per leg sequentially; only the first
+	// in Forwarded mode — later hops are middleware-emitted).
+	legs  []*workload.Generator
+	links []*Link
 }
 
 // Run deploys the scenario's topology and drives the workload mix to the
@@ -92,13 +136,17 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 		d.Links[edge].Forward().RunConstantRate(s.EdgeRates[edge], windows)
 	}
 	runs := make([]*routeRun, 0, len(s.Routes))
-	for _, rt := range s.Routes {
+	for i, rt := range s.Routes {
 		if err := s.validateRoute(rt); err != nil {
 			return nil, err
 		}
-		rr := &routeRun{route: rt}
+		rr := &routeRun{route: rt, idx: i}
 		runs = append(runs, rr)
-		d.Sched.At(time.Millisecond, func() { d.startLeg(rr) })
+		if rt.Forwarded {
+			d.Sched.At(time.Millisecond, func() { d.startForwardedRoute(rr) })
+		} else {
+			d.Sched.At(time.Millisecond, func() { d.startLeg(rr) })
+		}
 	}
 	d.Start()
 	if err := d.Run(s.deadline(windows)); err != nil {
@@ -152,9 +200,14 @@ func (s Scenario) deadline(windows int) time.Duration {
 // PacketKeys, so concurrent edge-rate traffic on the same channel never
 // advances a leg early.
 func (d *Deployment) startLeg(rr *routeRun) {
+	if rr.hop == 0 {
+		rr.startedAt = d.Sched.Now()
+	}
 	from, to := rr.route.Path[rr.hop], rr.route.Path[rr.hop+1]
 	link, _ := d.LinkBetween(from, to)
-	gen := link.newRouteGenerator(from)
+	gen := link.newRouteGenerator(from, rr.idx, rr.hop)
+	rr.legs = append(rr.legs, gen)
+	rr.links = append(rr.links, link)
 	gen.SubmitBatch(rr.route.Transfers)
 	d.Sched.Tick(simconf.MinBlockInterval, func(t *sim.Ticker) {
 		completed := 0
@@ -170,9 +223,44 @@ func (d *Deployment) startLeg(rr *routeRun) {
 		rr.hop++
 		if rr.hop+1 >= len(rr.route.Path) {
 			rr.done = true
+			rr.doneAt = d.Sched.Now()
 			return
 		}
 		d.startLeg(rr)
+	})
+}
+
+// startForwardedRoute submits the route's single user transfer batch with
+// a nested forward memo on the first edge; intermediate hops are emitted
+// by each chain's packet-forward middleware. The route completes when the
+// origin acknowledgements settle — which the middleware holds open until
+// the final hop is received (or a failed hop unwinds into a refund).
+func (d *Deployment) startForwardedRoute(rr *routeRun) {
+	rr.startedAt = d.Sched.Now()
+	path := rr.route.Path
+	link, _ := d.LinkBetween(path[0], path[1])
+	gen := link.newRouteGenerator(path[0], rr.idx, 0)
+	memo, err := d.ForwardMemo(path, RouteReceiver(rr.idx), rr.route.TimeoutBlocks)
+	if err != nil {
+		return // unreachable: routes are validated before scheduling
+	}
+	gen.Memo = memo
+	rr.legs = append(rr.legs, gen)
+	rr.links = append(rr.links, link)
+	gen.SubmitBatch(rr.route.Transfers)
+	d.Sched.Tick(simconf.MinBlockInterval, func(t *sim.Ticker) {
+		completed := 0
+		for _, key := range gen.PacketKeys() {
+			if link.Tracker.StatusOf(key) == metrics.StatusCompleted {
+				completed++
+			}
+		}
+		if completed < rr.route.Transfers {
+			return
+		}
+		t.Cancel()
+		rr.done = true
+		rr.doneAt = d.Sched.Now()
 	})
 }
 
@@ -233,8 +321,67 @@ func (s Scenario) analyze(d *Deployment, seed int64, runs []*routeRun) *Result {
 		if rr.done {
 			res.RoutesCompleted++
 		}
+		res.Routes = append(res.Routes, d.routeReport(rr))
 	}
 	return res
+}
+
+// routeReport assembles one route's report, attributing per-hop arrival
+// latencies: sequential legs use each leg generator's own packets;
+// forwarded routes follow the middleware's hop mapping from the first
+// leg's packets across the intermediate chains.
+func (d *Deployment) routeReport(rr *routeRun) RouteReport {
+	rep := RouteReport{
+		Route:     rr.idx,
+		Path:      rr.route.Path,
+		Forwarded: rr.route.Forwarded,
+		Transfers: rr.route.Transfers,
+		Completed: rr.done,
+	}
+	if rr.done {
+		rep.Latency = rr.doneAt - rr.startedAt
+	}
+	if len(rr.legs) == 0 {
+		return rep
+	}
+	hopSeries := func(hop int, keys []metrics.PacketKey, tracker *metrics.Tracker) metrics.Series {
+		s := metrics.Series{Name: fmt.Sprintf("hop-%d", hop+1)}
+		for _, key := range keys {
+			if at, ok := tracker.StepTime(key, metrics.StepRecvConfirmation); ok {
+				s.Add(at - rr.startedAt)
+			}
+		}
+		return s
+	}
+	if !rr.route.Forwarded {
+		for i, gen := range rr.legs {
+			rep.Hops = append(rep.Hops, hopSeries(i, gen.PacketKeys(), rr.links[i].Tracker))
+		}
+		return rep
+	}
+	path := rr.route.Path
+	keys := rr.legs[0].PacketKeys()
+	rep.Hops = append(rep.Hops, hopSeries(0, keys, rr.links[0].Tracker))
+	for j := 1; j+1 < len(path); j++ {
+		mid := d.Chains[path[j]]
+		inLink, _ := d.LinkBetween(path[j-1], path[j])
+		outLink, _ := d.LinkBetween(path[j], path[j+1])
+		if inLink == nil || outLink == nil {
+			break
+		}
+		inChan := inLink.ChannelFrom(path[j]) // dest channel of hop-j packets
+		next := make([]metrics.PacketKey, 0, len(keys))
+		for _, key := range keys {
+			outChan, outSeq, ok := mid.Forward.NextHop(inChan, key.Sequence)
+			if !ok {
+				continue
+			}
+			next = append(next, metrics.PacketKey{SrcChain: mid.ID, Channel: outChan, Sequence: outSeq})
+		}
+		keys = next
+		rep.Hops = append(rep.Hops, hopSeries(j, keys, outLink.Tracker))
+	}
+	return rep
 }
 
 // Render writes the result as an aligned per-edge table plus totals.
@@ -255,5 +402,17 @@ func (r *Result) Render(w io.Writer) {
 		r.Total[metrics.StatusInitiated], r.Total[metrics.StatusNotCommitted], r.Throughput)
 	if r.RoutesCompleted > 0 {
 		fmt.Fprintf(w, "routes completed: %d\n", r.RoutesCompleted)
+	}
+	for _, rt := range r.Routes {
+		mode := "sequential"
+		if rt.Forwarded {
+			mode = "forwarded"
+		}
+		fmt.Fprintf(w, "route %d %v (%s, %d transfers): completed=%v latency=%v",
+			rt.Route, rt.Path, mode, rt.Transfers, rt.Completed, rt.Latency)
+		for _, h := range rt.Hops {
+			fmt.Fprintf(w, " %s@%v", h.Name, h.Max())
+		}
+		fmt.Fprintln(w)
 	}
 }

@@ -247,6 +247,144 @@ func TestRouteNotAdvancedByBackgroundTraffic(t *testing.T) {
 	}
 }
 
+// TestForwardedRouteFasterThanSequential is the acceptance pin for the
+// packet-forward middleware: the same 3-chain line route run in both
+// modes from one scenario each. Forwarded mode must (a) complete with a
+// single user-initiated transfer batch per route — the middleware emits
+// hop 2 —, (b) mint the correct nested trace denom on the final chain,
+// and (c) deliver strictly lower end-to-end route latency than
+// sequential legs.
+func TestForwardedRouteFasterThanSequential(t *testing.T) {
+	const transfers = 3
+	run := func(forwarded bool) (*Result, *Deployment) {
+		d, err := Deploy(Line(3), DeployConfig{Seed: 33})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := &routeRun{route: Route{Path: []int{0, 1, 2}, Transfers: transfers, Forwarded: forwarded}}
+		if forwarded {
+			d.Sched.At(time.Millisecond, func() { d.startForwardedRoute(rr) })
+		} else {
+			d.Sched.At(time.Millisecond, func() { d.startLeg(rr) })
+		}
+		d.Start()
+		if err := d.Run(15 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if !rr.done {
+			t.Fatalf("route (forwarded=%v) did not complete", forwarded)
+		}
+		res := &Result{}
+		res.Routes = append(res.Routes, d.routeReport(rr))
+		return res, d
+	}
+
+	seqRes, _ := run(false)
+	fwdRes, fwdDep := run(true)
+
+	// (a) one user transfer per route: edge 1 saw no workload submission
+	// in forwarded mode — its packets were middleware-emitted.
+	if got := fwdDep.Links[1].legGens; len(got) != 0 {
+		t.Fatalf("forwarded mode created %d generators on edge 1", len(got))
+	}
+	if n := fwdDep.Links[1].Tracker.Tracked(); n != transfers {
+		t.Fatalf("edge 1 tracked %d middleware packets, want %d", n, transfers)
+	}
+	if fs := fwdDep.Chains[1].Forward.Stats(); fs.Forwarded != transfers || fs.Completed != transfers {
+		t.Fatalf("middleware stats = %+v", fs)
+	}
+
+	// (b) nested trace denom on the final chain, held by the route receiver.
+	nested := "transfer/channel-0/transfer/channel-0/uatom"
+	if got := fwdDep.Chains[2].App.Bank().Balance(RouteReceiver(0), nested); got != transfers {
+		t.Fatalf("final-chain nested voucher = %d, want %d", got, transfers)
+	}
+	if got := fwdDep.Chains[2].App.Bank().Supply(nested); got != transfers {
+		t.Fatalf("final-chain nested supply = %d", got)
+	}
+
+	// (c) strictly lower end-to-end latency.
+	seqLat := seqRes.Routes[0].Latency
+	fwdLat := fwdRes.Routes[0].Latency
+	if fwdLat <= 0 || seqLat <= 0 {
+		t.Fatalf("latencies not recorded: seq=%v fwd=%v", seqLat, fwdLat)
+	}
+	if fwdLat >= seqLat {
+		t.Fatalf("forwarded route (%v) not faster than sequential (%v)", fwdLat, seqLat)
+	}
+
+	// Hop series exist for both hops in both modes.
+	for _, res := range []*Result{seqRes, fwdRes} {
+		rt := res.Routes[0]
+		if len(rt.Hops) != 2 {
+			t.Fatalf("route has %d hop series (forwarded=%v)", len(rt.Hops), rt.Forwarded)
+		}
+		for i, h := range rt.Hops {
+			if h.Len() != transfers {
+				t.Fatalf("hop %d series has %d samples (forwarded=%v)", i, h.Len(), rt.Forwarded)
+			}
+		}
+		// Hops arrive in order.
+		if rt.Hops[0].Max() >= rt.Hops[1].Max() {
+			t.Fatalf("hop 2 (%v) not after hop 1 (%v)", rt.Hops[1].Max(), rt.Hops[0].Max())
+		}
+	}
+}
+
+// TestForwardedTimeoutUnwindEndToEnd injects a last-hop timeout through
+// the full relayer stack: the hop's timeout margin is so tight the recv
+// on the final chain always arrives late, the relayer proves the timeout
+// back on the middle chain, and the origin sender ends up refunded with
+// intermediate escrows and supplies restored.
+func TestForwardedTimeoutUnwindEndToEnd(t *testing.T) {
+	const transfers = 2
+	sc := Scenario{
+		Name:     "line3-forward-timeout",
+		Topology: Line(3),
+		Routes: []Route{{
+			Path: []int{0, 1, 2}, Transfers: transfers,
+			Forwarded: true, TimeoutBlocks: 1,
+		}},
+		Until: 20 * time.Minute,
+	}
+	d, err := Deploy(sc.Topology, DeployConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := &routeRun{route: sc.Routes[0]}
+	d.Sched.At(time.Millisecond, func() { d.startForwardedRoute(rr) })
+	d.Start()
+	if err := d.Run(sc.Until); err != nil {
+		t.Fatal(err)
+	}
+	// The route's packet lifecycles completed — with an error ack.
+	if !rr.done {
+		t.Fatal("unwound route never settled on the origin")
+	}
+	mw := d.Chains[1].Forward.Stats()
+	if mw.Forwarded != transfers || mw.Unwound != transfers || mw.Completed != 0 {
+		t.Fatalf("middleware stats = %+v", mw)
+	}
+	// Origin: senders refunded in full, escrow empty.
+	bankA := d.Chains[0].App.Bank()
+	if got := bankA.Balance("escrow/transfer/channel-0", "uatom"); got != 0 {
+		t.Fatalf("origin escrow holds %d after unwind", got)
+	}
+	// Middle chain: voucher supply and escrows restored to zero.
+	bankB := d.Chains[1].App.Bank()
+	voucher := "transfer/channel-0/uatom"
+	if got := bankB.Supply(voucher); got != 0 {
+		t.Fatalf("middle-chain voucher supply = %d after unwind", got)
+	}
+	if got := bankB.Balance("escrow/transfer/channel-1", voucher); got != 0 {
+		t.Fatalf("middle-chain escrow holds %d after unwind", got)
+	}
+	// Final chain: nothing was ever minted.
+	if got := d.Chains[2].App.Bank().Supply("transfer/channel-0/" + voucher); got != 0 {
+		t.Fatalf("final chain minted %d despite timeout", got)
+	}
+}
+
 // TestReverseDirection exercises a route that traverses an edge against
 // its A->B orientation (hub topologies: spoke -> hub).
 func TestReverseDirection(t *testing.T) {

@@ -60,6 +60,9 @@ type Generator struct {
 	// AccountPrefix namespaces this generator's user accounts so several
 	// generators can share one source chain without sequence clashes.
 	AccountPrefix string
+	// Memo is attached to every transfer (a pfm forward memo turns the
+	// generator's transfers into multi-hop forwarded routes).
+	Memo string
 
 	accounts []string
 	nextSeq  map[string]uint64
@@ -205,6 +208,7 @@ func (g *Generator) submitTx(account string, n int, attempt int) {
 			SourcePort:    g.SourcePort,
 			SourceChannel: g.SourceChannel,
 			TimeoutHeight: timeoutHeight,
+			Memo:          g.Memo,
 			Nonce:         g.nonce,
 		}
 	}
@@ -295,6 +299,7 @@ func (g *Generator) InjectDirect(transfers int) {
 				SourcePort:    g.SourcePort,
 				SourceChannel: g.SourceChannel,
 				TimeoutHeight: timeoutHeight,
+				Memo:          g.Memo,
 				Nonce:         g.nonce,
 			}
 		}
