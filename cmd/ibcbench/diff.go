@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 )
 
 // runDiff loads two -out result files and prints per-metric deltas.
@@ -21,8 +22,14 @@ func runDiff(oldPath, newPath string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	warnConfigMismatch(oldDoc, newDoc, w)
 	oldFlat := flatten("", oldDoc)
 	newFlat := flatten("", newDoc)
+	// The config header is compared (and warned about) above; keep it
+	// out of the metric diff so config-only differences don't inflate
+	// the changed-metric count regression gates key on.
+	dropConfig(oldFlat)
+	dropConfig(newFlat)
 
 	var changed, added, removed []string
 	unchanged := 0
@@ -84,6 +91,67 @@ func runDiff(oldPath, newPath string, w io.Writer) error {
 	fmt.Fprintf(w, "%d changed, %d added, %d removed, %d unchanged\n",
 		len(changed), len(added), len(removed), unchanged)
 	return nil
+}
+
+// warnConfigMismatch compares the documents' "config" headers (topology,
+// region preset, netem config, seed, ...) and warns when they disagree:
+// a metric diff across different configurations measures the config
+// change, not a regression. Documents without a header (pre-header
+// results) are compared silently.
+func warnConfigMismatch(oldDoc, newDoc any, w io.Writer) {
+	oldCfg := configHeader(oldDoc)
+	newCfg := configHeader(newDoc)
+	if oldCfg == nil || newCfg == nil {
+		return
+	}
+	oldFlat := flatten("config", oldCfg)
+	newFlat := flatten("config", newCfg)
+	var mismatched []string
+	for path, ov := range oldFlat {
+		if nv, ok := newFlat[path]; ok && ov != nv {
+			mismatched = append(mismatched, fmt.Sprintf("%s: %v -> %v", path, ov, nv))
+		}
+	}
+	for path := range oldFlat {
+		if _, ok := newFlat[path]; !ok {
+			mismatched = append(mismatched, fmt.Sprintf("%s: only in old", path))
+		}
+	}
+	for path := range newFlat {
+		if _, ok := oldFlat[path]; !ok {
+			mismatched = append(mismatched, fmt.Sprintf("%s: only in new", path))
+		}
+	}
+	if len(mismatched) == 0 {
+		return
+	}
+	sort.Strings(mismatched)
+	fmt.Fprintln(w, "WARNING: result files were produced with different configurations; metric deltas below reflect the config change, not a regression:")
+	for _, m := range mismatched {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
+}
+
+// dropConfig removes the config header's flattened leaves from a metric
+// map.
+func dropConfig(flat map[string]any) {
+	for path := range flat {
+		if path == "config" || strings.HasPrefix(path, "config.") {
+			delete(flat, path)
+		}
+	}
+}
+
+func configHeader(doc any) map[string]any {
+	m, ok := doc.(map[string]any)
+	if !ok {
+		return nil
+	}
+	cfg, ok := m["config"].(map[string]any)
+	if !ok {
+		return nil
+	}
+	return cfg
 }
 
 func loadResults(path string) (any, error) {

@@ -48,6 +48,86 @@ func TestDiffReportsDeltas(t *testing.T) {
 	}
 }
 
+func TestDiffWarnsOnConfigMismatch(t *testing.T) {
+	oldPath := writeTemp(t, "old.json", `{
+		"config": {"topology": "hub:4", "regions": "", "seed": 42},
+		"topo": {"Throughput": 100.0}
+	}`)
+	newPath := writeTemp(t, "new.json", `{
+		"config": {"topology": "hub:6", "regions": "3wan", "seed": 42},
+		"topo": {"Throughput": 80.0}
+	}`)
+	var sb strings.Builder
+	if err := runDiff(oldPath, newPath, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"WARNING", "different configurations",
+		"config.topology: hub:4 -> hub:6",
+		"config.regions:  -> 3wan",
+		"topo.Throughput", // metrics still diffed after the warning
+		"1 changed",       // ...but config fields don't count as metrics
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "config.seed:") {
+		t.Fatalf("matching config field warned about:\n%s", out)
+	}
+}
+
+// TestDiffConfigOnlyDifference: documents differing only in their config
+// headers warn but report no metric differences (regression gates key on
+// the changed-metric count).
+func TestDiffConfigOnlyDifference(t *testing.T) {
+	oldPath := writeTemp(t, "old.json", `{
+		"config": {"topology": "hub:4"},
+		"topo": {"Throughput": 100.0}
+	}`)
+	newPath := writeTemp(t, "new.json", `{
+		"config": {"topology": "hub:6"},
+		"topo": {"Throughput": 100.0}
+	}`)
+	var sb strings.Builder
+	if err := runDiff(oldPath, newPath, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "no differences") {
+		t.Fatalf("config-only diff should warn yet report no metric differences:\n%s", out)
+	}
+}
+
+func TestDiffNoWarningOnMatchingConfigs(t *testing.T) {
+	mk := func(name string, tput float64) string {
+		return writeTemp(t, name, `{
+			"config": {"topology": "hub:4", "seed": 42},
+			"topo": {"Throughput": `+fmtFloat(tput)+`}
+		}`)
+	}
+	var sb strings.Builder
+	if err := runDiff(mk("old.json", 100), mk("new.json", 90), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "WARNING") {
+		t.Fatalf("matching configs warned:\n%s", sb.String())
+	}
+	// Pre-header documents (no "config" key) are compared silently.
+	a := writeTemp(t, "a.json", `{"topo": 1}`)
+	b := writeTemp(t, "b.json", `{"topo": 2}`)
+	sb.Reset()
+	if err := runDiff(a, b, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "WARNING") {
+		t.Fatalf("header-less files warned:\n%s", sb.String())
+	}
+}
+
+func fmtFloat(f float64) string { return strings.TrimRight(strings.TrimRight(fmtNum(f), "0"), ".") }
+
 func TestDiffIdenticalFiles(t *testing.T) {
 	p := writeTemp(t, "same.json", `{"a": 1, "b": {"c": [1, 2]}}`)
 	var sb strings.Builder

@@ -11,14 +11,18 @@
 //	ibcbench -experiment topo -topology hub:4 -rate 20
 //	ibcbench -experiment topo -forwarding          # routes via packet forwarding
 //	ibcbench -experiment forward -topology line:4  # forwarded vs sequential curves
+//	ibcbench -experiment topo -regions 3wan        # geo-distributed deployment
+//	ibcbench -experiment failover -regions 3wan    # standby takeover vs fault window
 //	ibcbench -experiment topo -out results.json    # persist results as JSON
 //	ibcbench -diff old.json new.json               # compare two -out files
 //
 // Sweeps fan (config, seed) executions out over a worker pool
 // (-workers, default GOMAXPROCS); results are identical to serial runs.
-// With -out, every experiment that ran dumps its result structs to one
-// JSON document for cross-PR regression tracking of reproduced figures;
-// -diff compares two such documents metric by metric.
+// With -out, every experiment that ran dumps its result structs — plus
+// a config header (topology, region preset, netem config, seed) — to
+// one JSON document for cross-PR regression tracking of reproduced
+// figures; -diff compares two such documents metric by metric and
+// warns when their config headers disagree.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	"ibcbench/internal/experiments"
+	"ibcbench/internal/netem"
 )
 
 func main() {
@@ -41,13 +46,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ibcbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|forward|all")
+		exp        = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|forward|failover|all")
 		seeds      = fs.Int("seeds", 3, "executions per configuration (paper: 20)")
 		windows    = fs.Int("windows", 0, "submission block windows (0 = paper default)")
 		transfers  = fs.Int("transfers", 5000, "transfers for fig12/fig13")
 		seed       = fs.Int64("seed", 42, "base RNG seed")
-		topology   = fs.String("topology", "hub:4", "topo/forward experiment graph: two|line:n|hub:n|mesh:n")
-		rate       = fs.Int("rate", 20, "per-edge input rate (rps) for topo; transfers per route for forward")
+		topology   = fs.String("topology", "hub:4", "topo/forward/failover experiment graph: two|line:n|hub:n|mesh:n")
+		rate       = fs.Int("rate", 20, "per-edge input rate (rps) for topo/failover; transfers per route for forward")
+		regions    = fs.String("regions", "", "geo region preset for topo/failover deployments: 3wan|hubspoke:n|uniform:k (\"\" = the paper's uniform WAN)")
 		forwarding = fs.Bool("forwarding", false, "run topo multi-hop routes through the packet-forward middleware instead of sequential legs")
 		workers    = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
 		out        = fs.String("out", "", "write every experiment's result as JSON to this file (cross-PR regression tracking)")
@@ -62,7 +68,7 @@ func run(args []string) error {
 		}
 		return runDiff(*diffOld, fs.Arg(0), os.Stdout)
 	}
-	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers}
+	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers, Regions: *regions}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	report := map[string]any{}
 	record := func(key string, v any) {
@@ -171,6 +177,18 @@ func run(args []string) error {
 		res.Render(os.Stdout)
 		fmt.Println()
 	}
+	if want("failover") {
+		// Relayer failover: supervised standbys under primary-host
+		// partitions of increasing duration (packet-latency and
+		// cleared-backlog curves across fault windows).
+		res, err := experiments.Failover(opt, *topology, *rate)
+		if err != nil {
+			return err
+		}
+		record("failover", res)
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
 	if want("ws") {
 		res := experiments.WebSocketLimit(*seed, 1000, 60)
 		record("ws", res)
@@ -183,10 +201,13 @@ func run(args []string) error {
 		fmt.Println("paper: 2.5% completed / 15.7% timed out / 81.8% stuck")
 	}
 	if *out != "" {
-		report["args"] = map[string]any{
+		// The config header identifies what produced the document; -diff
+		// warns when comparing results whose configs disagree.
+		report["config"] = map[string]any{
 			"experiment": *exp, "seeds": *seeds, "windows": *windows,
 			"transfers": *transfers, "seed": *seed, "topology": *topology,
-			"rate": *rate, "forwarding": *forwarding, "workers": *workers,
+			"rate": *rate, "regions": *regions, "forwarding": *forwarding,
+			"netem": netem.DefaultWAN(),
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -57,7 +57,12 @@ type Chain struct {
 	sched    *sim.Scheduler
 	network  *netem.Network
 	rpcNodes int
+	rpcHosts []netem.Host
 	links    int
+
+	// onHost notifies listeners (the topology deployer's geo placement)
+	// when a late full-node host joins the chain.
+	onHost []func(netem.Host)
 }
 
 // New assembles a chain on the shared scheduler and network.
@@ -129,8 +134,23 @@ func (c *Chain) AddRPCNode(cfg rpc.Config) *rpc.Server {
 	if cfg.BroadcastCost == 0 {
 		cfg = rpc.DefaultConfig()
 	}
+	c.rpcHosts = append(c.rpcHosts, host)
+	for _, fn := range c.onHost {
+		fn(host)
+	}
 	return c.newRPCNode(host, cfg)
 }
+
+// Hosts lists every network host belonging to this chain: validator
+// nodes plus attached full nodes.
+func (c *Chain) Hosts() []netem.Host {
+	out := append([]netem.Host(nil), c.Engine.Hosts()...)
+	return append(out, c.rpcHosts...)
+}
+
+// OnHost registers a callback fired for each full-node host added after
+// registration (geo placement of late-created hosts).
+func (c *Chain) OnHost(fn func(netem.Host)) { c.onHost = append(c.onHost, fn) }
 
 // Start begins block production.
 func (c *Chain) Start() { c.Engine.Start() }

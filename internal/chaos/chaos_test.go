@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ibcbench/internal/sim"
+)
+
+// fakeTarget records applied faults as strings.
+type fakeTarget struct {
+	edges    int
+	relayers int
+	log      []string
+}
+
+func (f *fakeTarget) Edges() int             { return f.edges }
+func (f *fakeTarget) EdgeRelayers(int) int   { return f.relayers }
+func (f *fakeTarget) PartitionEdge(e, r int) { f.log = append(f.log, fmt.Sprintf("part:%d/%d", e, r)) }
+func (f *fakeTarget) HealEdge(e, r int)      { f.log = append(f.log, fmt.Sprintf("heal:%d/%d", e, r)) }
+func (f *fakeTarget) SetEdgeExtraLatency(e int, lat time.Duration) {
+	f.log = append(f.log, fmt.Sprintf("spike:%d/%v", e, lat))
+}
+func (f *fakeTarget) SetEdgeExtraDrop(e int, drop float64) {
+	f.log = append(f.log, fmt.Sprintf("burst:%d/%.2f", e, drop))
+}
+func (f *fakeTarget) PauseRelayer(e, r int) { f.log = append(f.log, fmt.Sprintf("pause:%d/%d", e, r)) }
+func (f *fakeTarget) ResumeRelayer(e, r int) {
+	f.log = append(f.log, fmt.Sprintf("resume:%d/%d", e, r))
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	target := &fakeTarget{edges: 2, relayers: 1}
+	bad := []Timeline{
+		{Events: []Event{{At: -time.Second, Kind: HealLink}}},
+		{Events: []Event{{Kind: PartitionLink, Edge: 2}}},
+		{Events: []Event{{Kind: PartitionLink, Edge: -1}}},
+		{Events: []Event{{Kind: RelayerPause, Edge: 0, Relayer: 1}}},
+		{Events: []Event{{Kind: RelayerPause, Edge: 0, Relayer: -1}}},
+		{Events: []Event{{Kind: PartitionLink, Edge: 0, Relayer: 5}}},
+		{Events: []Event{{Kind: DropBurst, Edge: 0, ExtraDrop: 1.5}}},
+		{Events: []Event{{Kind: LatencySpike, Edge: 0, ExtraLatency: -time.Second}}},
+		{Events: []Event{{Kind: Kind(99), Edge: 0}}},
+	}
+	for i, tl := range bad {
+		if err := tl.Validate(target); err == nil {
+			t.Fatalf("case %d: bad timeline accepted", i)
+		}
+		if _, err := Inject(sim.NewScheduler(), target, tl); err == nil {
+			t.Fatalf("case %d: bad timeline injected", i)
+		}
+	}
+}
+
+// TestInjectAppliesInTimeOrder: events fire at their virtual times in
+// (At, declaration) order regardless of declaration order, and the log
+// records each application.
+func TestInjectAppliesInTimeOrder(t *testing.T) {
+	target := &fakeTarget{edges: 2, relayers: 2}
+	tl := Timeline{Events: []Event{
+		{At: 30 * time.Second, Kind: HealLink, Edge: 0, Relayer: -1},
+		{At: 10 * time.Second, Kind: PartitionLink, Edge: 0, Relayer: -1},
+		{At: 20 * time.Second, Kind: LatencySpike, Edge: 1, ExtraLatency: 50 * time.Millisecond},
+		{At: 20 * time.Second, Kind: RelayerPause, Edge: 1, Relayer: 1},
+		{At: 40 * time.Second, Kind: RelayerResume, Edge: 1, Relayer: 1},
+		{At: 40 * time.Second, Kind: DropBurst, Edge: 1, ExtraDrop: 0.5},
+	}}
+	s := sim.NewScheduler()
+	inj, err := Inject(s, target, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"part:0/-1",
+		"spike:1/50ms",
+		"pause:1/1",
+		"heal:0/-1",
+		"resume:1/1",
+		"burst:1/0.50",
+	}
+	if len(target.log) != len(want) {
+		t.Fatalf("applied %d faults, want %d: %v", len(target.log), len(want), target.log)
+	}
+	for i, w := range want {
+		if target.log[i] != w {
+			t.Fatalf("fault %d = %s, want %s (full: %v)", i, target.log[i], w, target.log)
+		}
+	}
+	log := inj.Log()
+	if len(log.Applied) != len(want) {
+		t.Fatalf("log has %d entries", len(log.Applied))
+	}
+	if log.Applied[0].At != 10*time.Second || log.Applied[0].Event.Kind != PartitionLink {
+		t.Fatalf("log[0] = %+v", log.Applied[0])
+	}
+	for _, e := range log.Applied {
+		if e.Desc == "" {
+			t.Fatalf("empty description for %+v", e.Event)
+		}
+	}
+}
+
+func TestStandbyOrdinalAllowedForPartition(t *testing.T) {
+	// PartitionLink accepts relayer ordinals up to the target's count
+	// (the standby is the last ordinal) and -1 for the whole link.
+	target := &fakeTarget{edges: 1, relayers: 2}
+	tl := Timeline{Events: []Event{
+		{Kind: PartitionLink, Edge: 0, Relayer: -1},
+		{Kind: PartitionLink, Edge: 0, Relayer: 1},
+	}}
+	if err := tl.Validate(target); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		PartitionLink: "partition", HealLink: "heal",
+		LatencySpike: "latency-spike", DropBurst: "drop-burst",
+		RelayerPause: "relayer-pause", RelayerResume: "relayer-resume",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d = %s, want %s", int(k), k, want)
+		}
+		if b, err := k.MarshalText(); err != nil || string(b) != want {
+			t.Fatalf("marshal %s: %s %v", want, b, err)
+		}
+	}
+}

@@ -27,6 +27,9 @@ type Options struct {
 	// Each (config, seed) execution is an independent deterministic
 	// simulation, so parallel and serial sweeps yield identical results.
 	Workers int
+	// Regions optionally places topology deployments on a geo region
+	// preset (see geo.ParseSpec; "" = the paper's uniform WAN).
+	Regions string
 }
 
 func (o Options) seeds() int {

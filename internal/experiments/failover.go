@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ibcbench/internal/chaos"
+	"ibcbench/internal/geo"
+	"ibcbench/internal/metrics"
+	"ibcbench/internal/simconf"
+	"ibcbench/internal/topo"
+)
+
+// DefaultFaultWindows are the swept primary-outage durations; 0 is the
+// fault-free baseline.
+var DefaultFaultWindows = []time.Duration{
+	0,
+	30 * time.Second,
+	60 * time.Second,
+	120 * time.Second,
+}
+
+// FailoverRow summarizes one fault-window duration across seeds.
+type FailoverRow struct {
+	// Window is how long the primary relayer's host stays partitioned.
+	Window time.Duration
+	// Completed is the faulted edge's completed-transfer distribution.
+	Completed metrics.Dist
+	// Latency summarizes the faulted edge's mean per-packet completion
+	// latency of each seed (seconds): a distribution of per-seed means,
+	// not of pooled per-packet samples.
+	Latency metrics.Dist
+	// Downtime is the supervisor-measured outage time per seed (seconds).
+	Downtime metrics.Dist
+	// Takeovers sums standby activations across seeds.
+	Takeovers int
+	// StandbyRecv sums packets the standby delivered across seeds.
+	StandbyRecv uint64
+	// Backlog is the first seed's cleared-backlog curve on the faulted
+	// edge (absolute completion times).
+	Backlog metrics.Series
+}
+
+// FailoverResult is the relayer-failover experiment: a supervised
+// topology (standby relayer per edge) under primary-host partitions of
+// increasing duration, reporting completion, packet latency, measured
+// downtime and the post-outage catch-up curve per fault window.
+type FailoverResult struct {
+	Spec    string
+	Regions string
+	Rate    int
+	Seeds   int
+	// FaultStart is when the partition opens (virtual time).
+	FaultStart time.Duration
+	Rows       []FailoverRow
+}
+
+// Failover runs the relayer-failover experiment on the given topology
+// (every edge gets a standby; edge 0's primary is the fault target).
+// opt.Regions optionally places the deployment on a geo preset.
+func Failover(opt Options, spec string, rate int) (FailoverResult, error) {
+	tp, err := topo.ParseSpec(spec)
+	if err != nil {
+		return FailoverResult{}, err
+	}
+	model, err := geo.ParseSpec(opt.Regions)
+	if err != nil {
+		return FailoverResult{}, err
+	}
+	if rate <= 0 {
+		return FailoverResult{}, fmt.Errorf("experiments: failover needs a per-edge rate >= 1 (got %d)", rate)
+	}
+	windows := opt.Windows
+	if windows <= 0 {
+		windows = 6
+	}
+	faultStart := 3 * simconf.MinBlockInterval
+	out := FailoverResult{
+		Spec: spec, Regions: opt.Regions, Rate: rate,
+		Seeds: opt.seeds(), FaultStart: faultStart,
+	}
+
+	rates := make(map[int]int, len(tp.Edges))
+	for i := range tp.Edges {
+		rates[i] = rate
+	}
+	type cell struct {
+		winIdx int
+		seed   int64
+	}
+	var cells []cell
+	for w := range DefaultFaultWindows {
+		for s := 0; s < opt.seeds(); s++ {
+			cells = append(cells, cell{w, int64(9000*(w+1) + s)})
+		}
+	}
+	type cellRes struct {
+		winIdx int
+		res    *topo.Result
+		err    error
+	}
+	results := ParallelMap(cells, opt.Workers, func(c cell) cellRes {
+		w := DefaultFaultWindows[c.winIdx]
+		sc := topo.Scenario{
+			Name:         fmt.Sprintf("failover-%s-w%ds", spec, int(w.Seconds())),
+			Topology:     tp,
+			Deploy:       topo.DeployConfig{Geo: model, Standby: true},
+			EdgeRates:    rates,
+			Windows:      windows,
+			RecordCurves: true,
+		}
+		if w > 0 {
+			sc.Chaos = chaos.Timeline{Events: []chaos.Event{
+				{At: faultStart, Kind: chaos.PartitionLink, Edge: 0, Relayer: 0},
+				{At: faultStart + w, Kind: chaos.HealLink, Edge: 0, Relayer: 0},
+			}}
+		}
+		res, rerr := sc.Run(c.seed)
+		return cellRes{winIdx: c.winIdx, res: res, err: rerr}
+	})
+
+	perWin := make([][]*topo.Result, len(DefaultFaultWindows))
+	for i, r := range results {
+		if r.err != nil {
+			return FailoverResult{}, fmt.Errorf("experiments: failover %s (cell %d): %w", spec, i, r.err)
+		}
+		perWin[r.winIdx] = append(perWin[r.winIdx], r.res)
+	}
+	for w, runs := range perWin {
+		row := FailoverRow{Window: DefaultFaultWindows[w]}
+		var completed, downtime, latencies []float64
+		for i, res := range runs {
+			e0 := res.Edges[0]
+			completed = append(completed, float64(e0.Completion[metrics.StatusCompleted]))
+			if f := e0.Failover; f != nil {
+				downtime = append(downtime, f.Downtime.Sum().Seconds())
+				row.Takeovers += f.Takeovers
+				row.StandbyRecv += f.Standby.RecvDelivered
+			}
+			latencies = append(latencies, e0.Latency.Mean)
+			if i == 0 {
+				row.Backlog = e0.Cleared
+			}
+		}
+		row.Completed = metrics.Summarize(completed)
+		row.Latency = metrics.Summarize(latencies)
+		row.Downtime = metrics.Summarize(downtime)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render writes the latency-vs-fault-window table plus each window's
+// catch-up quantiles.
+func (r FailoverResult) Render(w io.Writer) {
+	regions := r.Regions
+	if regions == "" {
+		regions = "none (uniform WAN)"
+	}
+	fmt.Fprintf(w, "# relayer failover on %s: regions=%s, %d rps on the faulted edge, %d seeds\n",
+		r.Spec, regions, r.Rate, r.Seeds)
+	fmt.Fprintf(w, "primary of edge 0 partitioned at %v for each fault window\n", r.FaultStart)
+	fmt.Fprintf(w, "%-10s %-22s %-26s %-16s %-10s %-12s\n",
+		"window", "completed (edge 0)", "latency mean-sec (seeds)", "downtime-sec", "takeovers", "standby-recv")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %-22s %-26s %-16s %-10d %-12d\n",
+			row.Window, fmt.Sprintf("%.0f (n=%d)", row.Completed.Mean, row.Completed.N),
+			fmt.Sprintf("%.1f [%.1f..%.1f]", row.Latency.Mean, row.Latency.Min, row.Latency.Max),
+			fmt.Sprintf("%.1f", row.Downtime.Mean), row.Takeovers, row.StandbyRecv)
+	}
+	for _, row := range r.Rows {
+		if row.Backlog.Len() == 0 {
+			continue
+		}
+		c := row.Backlog.Samples
+		q := func(f float64) time.Duration { return c[int(f*float64(len(c)-1))] }
+		fmt.Fprintf(w, "backlog cleared (window %v): q25=%v q50=%v q75=%v last=%v\n",
+			row.Window, q(0.25).Round(time.Second), q(0.5).Round(time.Second),
+			q(0.75).Round(time.Second), c[len(c)-1].Round(time.Second))
+	}
+}

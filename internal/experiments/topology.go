@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"ibcbench/internal/geo"
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/topo"
 )
@@ -43,6 +44,10 @@ func TopologySweepMode(opt Options, spec string, rate int, forwarded bool) (Topo
 	if err != nil {
 		return TopologyResult{}, err
 	}
+	model, err := geo.ParseSpec(opt.Regions)
+	if err != nil {
+		return TopologyResult{}, err
+	}
 	if rate <= 0 {
 		return TopologyResult{}, fmt.Errorf("experiments: topology sweep needs a per-edge rate >= 1 (got %d)", rate)
 	}
@@ -53,6 +58,7 @@ func TopologySweepMode(opt Options, spec string, rate int, forwarded bool) (Topo
 	sc := topo.Scenario{
 		Name:     spec,
 		Topology: tp,
+		Deploy:   topo.DeployConfig{Geo: model},
 		Windows:  windows,
 	}
 	sc.EdgeRates = make(map[int]int, len(tp.Edges))

@@ -287,6 +287,16 @@ func (s *Series) Add(d time.Duration) { s.Samples = append(s.Samples, d) }
 // Len reports the sample count.
 func (s Series) Len() int { return len(s.Samples) }
 
+// Sum returns the total of all samples — e.g. cumulative downtime over
+// a run's outage windows.
+func (s Series) Sum() time.Duration {
+	var total time.Duration
+	for _, d := range s.Samples {
+		total += d
+	}
+	return total
+}
+
 // Max returns the largest sample (0 when empty).
 func (s Series) Max() time.Duration {
 	var m time.Duration

@@ -6,6 +6,12 @@
 // named hosts with a configurable one-way latency matrix plus jitter, on
 // top of the shared sim.Scheduler virtual clock. Messages between
 // processes on the same host are delivered with loopback latency.
+//
+// Beyond the paper's uniform matrix, individual directed host pairs can
+// carry their own Profile (latency, jitter, drop) — the compilation
+// target of the geo region model — plus a transient overlay (extra
+// latency / extra drop) used by chaos fault injection for latency spikes
+// and drop bursts, and a partition flag severing the pair entirely.
 package netem
 
 import (
@@ -55,17 +61,50 @@ func DefaultLAN() Config {
 	}
 }
 
+// Profile describes one directed host pair's path characteristics.
+// Negative Jitter/Drop inherit the network Config's values.
+type Profile struct {
+	// OneWay is the base one-way latency of the path.
+	OneWay time.Duration
+	// Jitter is the relative standard deviation per delivery (<0 inherits
+	// the Config default).
+	Jitter float64
+	// Drop is the loss probability on the path (<0 inherits the Config
+	// default).
+	Drop float64
+}
+
+// linkState is the resolved per-pair state: the base profile merged with
+// any chaos overlay and the partition flag. One struct — and therefore
+// one map lookup — covers everything Send needs to know about a pair.
+type linkState struct {
+	hasProfile bool
+	latency    time.Duration
+	jitter     float64
+	drop       float64
+
+	// Chaos overlays: transient additive latency and drop, settable
+	// independently so a latency spike and a drop burst on the same pair
+	// compose instead of clobbering each other.
+	extraLatency time.Duration
+	extraDrop    float64
+
+	// partitioned counts active partitions on the pair: overlapping
+	// faults compose, and a pair stays severed until every partition
+	// that hit it has healed.
+	partitioned int
+}
+
 // Network delivers messages between hosts with emulated latency.
 type Network struct {
 	sched *sim.Scheduler
 	rng   *sim.RNG
 	cfg   Config
 
-	// links optionally overrides latency for specific host pairs.
-	links map[linkKey]time.Duration
-
-	// partitioned holds host pairs that currently cannot communicate.
-	partitioned map[linkKey]bool
+	// links holds per-directed-pair overrides (profiles, overlays,
+	// partitions). The hot path consults it with a single lookup, skipped
+	// entirely while the map is empty.
+	links map[linkKey]*linkState
 
 	sent    uint64
 	dropped uint64
@@ -76,41 +115,120 @@ type linkKey struct{ from, to Host }
 // New returns a network using the given clock, randomness and config.
 func New(s *sim.Scheduler, rng *sim.RNG, cfg Config) *Network {
 	return &Network{
-		sched:       s,
-		rng:         rng,
-		cfg:         cfg,
-		links:       make(map[linkKey]time.Duration),
-		partitioned: make(map[linkKey]bool),
+		sched: s,
+		rng:   rng,
+		cfg:   cfg,
+		links: make(map[linkKey]*linkState),
 	}
 }
 
-// SetLinkLatency overrides the one-way latency from one host to another.
+func (n *Network) state(from, to Host) *linkState {
+	k := linkKey{from, to}
+	st := n.links[k]
+	if st == nil {
+		st = &linkState{}
+		n.links[k] = st
+	}
+	return st
+}
+
+// dropState removes a pair's entry when it no longer overrides anything,
+// keeping the empty-map fast path available after heals/clears.
+func (n *Network) dropState(from, to Host, st *linkState) {
+	if !st.hasProfile && st.partitioned == 0 && st.extraLatency == 0 && st.extraDrop == 0 {
+		delete(n.links, linkKey{from, to})
+	}
+}
+
+// SetLinkProfile overrides the directed path from one host to another.
+func (n *Network) SetLinkProfile(from, to Host, p Profile) {
+	st := n.state(from, to)
+	st.hasProfile = true
+	st.latency = p.OneWay
+	st.jitter = p.Jitter
+	if p.Jitter < 0 {
+		st.jitter = n.cfg.JitterRelStd
+	}
+	st.drop = p.Drop
+	if p.Drop < 0 {
+		st.drop = n.cfg.DropRate
+	}
+}
+
+// SetLinkLatency overrides only the one-way latency from one host to
+// another, inheriting the config's jitter and drop rate.
 func (n *Network) SetLinkLatency(from, to Host, d time.Duration) {
-	n.links[linkKey{from, to}] = d
+	n.SetLinkProfile(from, to, Profile{OneWay: d, Jitter: -1, Drop: -1})
+}
+
+// SetLinkExtraLatency sets the latency component of a directed pair's
+// fault overlay (0 clears it; the drop component is untouched, so
+// spikes and bursts on one pair compose).
+func (n *Network) SetLinkExtraLatency(from, to Host, extra time.Duration) {
+	if extra == 0 {
+		if st, ok := n.links[linkKey{from, to}]; ok {
+			st.extraLatency = 0
+			n.dropState(from, to, st)
+		}
+		return
+	}
+	n.state(from, to).extraLatency = extra
+}
+
+// SetLinkExtraDrop sets the drop component of a directed pair's fault
+// overlay (0 clears it; the latency component is untouched).
+func (n *Network) SetLinkExtraDrop(from, to Host, extra float64) {
+	if extra == 0 {
+		if st, ok := n.links[linkKey{from, to}]; ok {
+			st.extraDrop = 0
+			n.dropState(from, to, st)
+		}
+		return
+	}
+	n.state(from, to).extraDrop = extra
 }
 
 // Partition severs communication in both directions between two hosts.
+// Partitions are counted: overlapping faults hitting the same pair
+// compose, and the pair heals only when every partition has healed.
 func (n *Network) Partition(a, b Host) {
-	n.partitioned[linkKey{a, b}] = true
-	n.partitioned[linkKey{b, a}] = true
+	n.state(a, b).partitioned++
+	n.state(b, a).partitioned++
 }
 
-// Heal restores communication between two hosts.
+// Heal removes one partition between two hosts (no-op beyond balance).
 func (n *Network) Heal(a, b Host) {
-	delete(n.partitioned, linkKey{a, b})
-	delete(n.partitioned, linkKey{b, a})
+	for _, k := range [2]linkKey{{a, b}, {b, a}} {
+		if st, ok := n.links[k]; ok && st.partitioned > 0 {
+			st.partitioned--
+			n.dropState(k.from, k.to, st)
+		}
+	}
+}
+
+// Partitioned reports whether the directed pair is currently severed.
+func (n *Network) Partitioned(from, to Host) bool {
+	st, ok := n.links[linkKey{from, to}]
+	return ok && st.partitioned > 0
 }
 
 // Sent reports the number of messages handed to the network.
 func (n *Network) Sent() uint64 { return n.sent }
 
-// Dropped reports messages lost to DropRate or partitions.
+// Dropped reports messages lost to DropRate, overlays or partitions.
 func (n *Network) Dropped() uint64 { return n.dropped }
 
-// Latency reports the base one-way latency between two hosts.
+// Latency reports the base one-way latency between two hosts, including
+// any active overlay's extra latency.
 func (n *Network) Latency(from, to Host) time.Duration {
-	if d, ok := n.links[linkKey{from, to}]; ok {
-		return d
+	if st, ok := n.links[linkKey{from, to}]; ok {
+		if st.hasProfile {
+			return st.latency + st.extraLatency
+		}
+		if from == to {
+			return n.cfg.LoopbackLatency + st.extraLatency
+		}
+		return n.cfg.OneWayLatency + st.extraLatency
 	}
 	if from == to {
 		return n.cfg.LoopbackLatency
@@ -122,16 +240,32 @@ func (n *Network) Latency(from, to Host) time.Duration {
 // Messages may be dropped by partitions or the configured drop rate.
 func (n *Network) Send(from, to Host, fn func()) {
 	n.sent++
-	if n.partitioned[linkKey{from, to}] {
+	base := n.cfg.OneWayLatency
+	jitter := n.cfg.JitterRelStd
+	drop := n.cfg.DropRate
+	if from == to {
+		base = n.cfg.LoopbackLatency
+	}
+	// One lookup resolves profile, overlay and partition together; runs
+	// with no overrides never hash the pair at all.
+	if len(n.links) > 0 {
+		if st, ok := n.links[linkKey{from, to}]; ok {
+			if st.partitioned > 0 {
+				n.dropped++
+				return
+			}
+			if st.hasProfile {
+				base, jitter, drop = st.latency, st.jitter, st.drop
+			}
+			base += st.extraLatency
+			drop += st.extraDrop
+		}
+	}
+	if drop > 0 && n.rng.Float64() < drop {
 		n.dropped++
 		return
 	}
-	if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
-		n.dropped++
-		return
-	}
-	base := n.Latency(from, to)
-	d := time.Duration(n.rng.Jitter(float64(base), n.cfg.JitterRelStd))
+	d := time.Duration(n.rng.Jitter(float64(base), jitter))
 	n.sched.After(d, fn)
 }
 
@@ -142,6 +276,6 @@ func (n *Network) RTT(a, b Host) time.Duration {
 
 // String summarizes the network configuration.
 func (n *Network) String() string {
-	return fmt.Sprintf("netem(one-way=%v loopback=%v jitter=%.2f drop=%.3f)",
-		n.cfg.OneWayLatency, n.cfg.LoopbackLatency, n.cfg.JitterRelStd, n.cfg.DropRate)
+	return fmt.Sprintf("netem(one-way=%v loopback=%v jitter=%.2f drop=%.3f overrides=%d)",
+		n.cfg.OneWayLatency, n.cfg.LoopbackLatency, n.cfg.JitterRelStd, n.cfg.DropRate, len(n.links))
 }

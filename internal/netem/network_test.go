@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -120,6 +121,190 @@ func TestJitterVariesDelivery(t *testing.T) {
 	if len(seen) < 10 {
 		t.Fatalf("jitter produced only %d distinct delivery times", len(seen))
 	}
+}
+
+func TestLinkProfileOverridesJitterAndDrop(t *testing.T) {
+	cfg := Config{OneWayLatency: 100 * time.Millisecond, JitterRelStd: 0}
+	s, n := newNet(cfg)
+	n.SetLinkProfile("a", "b", Profile{OneWay: 10 * time.Millisecond, Jitter: 0, Drop: 1})
+	delivered := 0
+	n.Send("a", "b", func() { delivered++ }) // dropped: per-link Drop=1
+	n.Send("b", "a", func() { delivered++ }) // default path
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (a->b drops at rate 1)", delivered)
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped = %d", n.Dropped())
+	}
+}
+
+func TestLinkOverlaySpikeAndClear(t *testing.T) {
+	cfg := Config{OneWayLatency: 10 * time.Millisecond}
+	s, n := newNet(cfg)
+	n.SetLinkExtraLatency("a", "b", 40*time.Millisecond)
+	var at time.Duration
+	n.Send("a", "b", func() { at = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if at != 50*time.Millisecond {
+		t.Fatalf("spiked delivery at %v, want 50ms", at)
+	}
+	if got := n.Latency("a", "b"); got != 50*time.Millisecond {
+		t.Fatalf("Latency under overlay = %v", got)
+	}
+	n.SetLinkExtraLatency("a", "b", 0)
+	n.Send("a", "b", func() { at = s.Now() - at })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("post-clear delivery took %v, want 10ms", at)
+	}
+}
+
+func TestLinkOverlayDropBurst(t *testing.T) {
+	s, n := newNet(Config{OneWayLatency: time.Millisecond})
+	n.SetLinkExtraDrop("a", "b", 1)
+	delivered := 0
+	n.Send("a", "b", func() { delivered++ })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if delivered != 0 || n.Dropped() != 1 {
+		t.Fatalf("burst did not drop: delivered=%d dropped=%d", delivered, n.Dropped())
+	}
+	n.SetLinkExtraDrop("a", "b", 0)
+	n.Send("a", "b", func() { delivered++ })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if delivered != 1 {
+		t.Fatal("cleared burst still dropping")
+	}
+}
+
+// TestOverlayComponentsCompose: a latency spike and a drop burst on one
+// pair are independent — setting or clearing one leaves the other.
+func TestOverlayComponentsCompose(t *testing.T) {
+	s, n := newNet(Config{OneWayLatency: 10 * time.Millisecond})
+	n.SetLinkExtraLatency("a", "b", 40*time.Millisecond)
+	n.SetLinkExtraDrop("a", "b", 1)
+	delivered := 0
+	n.Send("a", "b", func() { delivered++ })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if delivered != 0 {
+		t.Fatal("burst not active alongside spike")
+	}
+	// Clearing the burst must not cancel the spike.
+	n.SetLinkExtraDrop("a", "b", 0)
+	var at time.Duration
+	start := s.Now()
+	n.Send("a", "b", func() { at = s.Now() - start })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if at != 50*time.Millisecond {
+		t.Fatalf("spike lost after burst cleared: delivery took %v", at)
+	}
+}
+
+func TestPartitionsRefcount(t *testing.T) {
+	_, n := newNet(Config{OneWayLatency: time.Millisecond})
+	n.Partition("a", "b") // fault 1 (e.g. whole-link blackout)
+	n.Partition("a", "b") // fault 2 (e.g. relayer-host partition)
+	if !n.Partitioned("a", "b") || !n.Partitioned("b", "a") {
+		t.Fatal("partition not visible")
+	}
+	n.Heal("a", "b") // fault 2 heals; fault 1 still severs the pair
+	if !n.Partitioned("a", "b") {
+		t.Fatal("healing one overlapping fault un-severed the pair")
+	}
+	n.Heal("a", "b")
+	if n.Partitioned("a", "b") {
+		t.Fatal("heal not visible")
+	}
+	n.Heal("a", "b") // unbalanced heal is a no-op
+	if n.Partitioned("a", "b") {
+		t.Fatal("unbalanced heal partitioned the pair")
+	}
+}
+
+// TestSendSteadyStateAllocs pins the hot-path satellite: after warm-up,
+// Send + dispatch allocates nothing (the scheduler recycles events and
+// the override map is consulted with at most one lookup).
+func TestSendSteadyStateAllocs(t *testing.T) {
+	s, n := newNet(DefaultWAN())
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the event freelist and queue capacity
+		n.Send("a", "b", fn)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		n.Send("a", "b", fn)
+		if err := s.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Send allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkNetemSend pins the per-message send cost. Before the hot-path
+// rework each Send paid two two-string map-key hashes (partition check +
+// latency override) and one *event heap allocation (ROADMAP's "netem
+// send allocation"); after it, the override map is consulted with a
+// single lookup — skipped entirely while no overrides exist — and the
+// scheduler recycles fired events, so steady state runs at 0 allocs/op
+// (was 1 alloc/op for the scheduled event).
+func BenchmarkNetemSend(b *testing.B) {
+	fn := func() {}
+	bench := func(b *testing.B, setup func(*Network)) {
+		s, n := newNet(DefaultWAN())
+		setup(n)
+		for i := 0; i < 64; i++ {
+			n.Send("a", "b", fn)
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Send("a", "b", fn)
+			if s.Len() >= 1024 {
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("uniform", func(b *testing.B) {
+		bench(b, func(*Network) {})
+	})
+	b.Run("with-profile", func(b *testing.B) {
+		bench(b, func(n *Network) {
+			n.SetLinkProfile("a", "b", Profile{OneWay: 40 * time.Millisecond, Jitter: -1, Drop: -1})
+		})
+	})
+	b.Run("other-pairs-overridden", func(b *testing.B) {
+		bench(b, func(n *Network) {
+			for i := 0; i < 64; i++ {
+				n.SetLinkLatency(Host(fmt.Sprintf("x%d", i)), "y", 5*time.Millisecond)
+			}
+		})
+	})
 }
 
 func TestDefaultsMatchPaper(t *testing.T) {

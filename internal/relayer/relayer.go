@@ -18,6 +18,7 @@ package relayer
 
 import (
 	"errors"
+	"sort"
 	"strings"
 	"time"
 
@@ -99,9 +100,10 @@ type endpoint struct {
 	seq     uint64
 	seqInit bool
 
-	// clientHeight is the latest counterparty height this chain's client
-	// has been updated to (relayer-local view).
-	clientHeight int64
+	// clientHeights tracks the counterparty heights this chain's client
+	// has consensus states for (relayer-local, optimistically advanced at
+	// submission and rolled back when the carrying transaction fails).
+	clientHeights map[int64]bool
 
 	// height is the latest height observed via events.
 	height int64
@@ -187,8 +189,8 @@ func New(sched *sim.Scheduler, rng *sim.RNG, cfg Config, pair *chain.Pair) *Rela
 	// Hermes tolerates long query latencies against its local full node;
 	// the serial query queue regularly exceeds the default client timeout.
 	ncfg.ClientTimeout = 2 * time.Minute
-	r.a = &endpoint{chain: pair.A, rpc: pair.A.AddRPCNode(ncfg), clientID: pair.ClientOnA, channel: pair.ChannelAB, account: acctA}
-	r.b = &endpoint{chain: pair.B, rpc: pair.B.AddRPCNode(ncfg), clientID: pair.ClientOnB, channel: pair.ChannelBA, account: acctB}
+	r.a = &endpoint{chain: pair.A, rpc: pair.A.AddRPCNode(ncfg), clientID: pair.ClientOnA, channel: pair.ChannelAB, account: acctA, clientHeights: make(map[int64]bool)}
+	r.b = &endpoint{chain: pair.B, rpc: pair.B.AddRPCNode(ncfg), clientID: pair.ClientOnB, channel: pair.ChannelBA, account: acctB, clientHeights: make(map[int64]bool)}
 	return r
 }
 
@@ -219,10 +221,35 @@ func (r *Relayer) Stop() { r.stopped = true }
 // Resume restarts a stopped relayer.
 func (r *Relayer) Resume() { r.stopped = false }
 
+// Stopped reports whether the relayer is currently paused — a crashed
+// process answers no health probes (failover supervisors ping this).
+func (r *Relayer) Stopped() bool { return r.stopped }
+
+// addMissed queues a source height for the clearing pass.
+func (r *Relayer) addMissed(src *endpoint, h int64) {
+	if src == r.a {
+		r.missedA = append(r.missedA, h)
+	} else {
+		r.missedB = append(r.missedB, h)
+	}
+}
+
 // onFrame is the Supervisor receiving one block's events from src.
 func (r *Relayer) onFrame(src, dst *endpoint, frame *rpc.EventFrame) {
 	if r.stopped {
 		return
+	}
+	if r.cfg.ClearIntervalBlocks > 0 && frame.Height > src.height+1 {
+		// A height gap means whole frames never arrived — dropped by a
+		// network partition, lost while the process was paused, or (for a
+		// standby taking over mid-run) published before this relayer
+		// subscribed. Queue every skipped height for the clearing pass;
+		// the shared event index makes the re-scan one indexed query per
+		// height instead of a per-relayer decode.
+		for h := src.height + 1; h < frame.Height; h++ {
+			r.addMissed(src, h)
+		}
+		r.scheduleClear(src, dst)
 	}
 	if frame.Height > src.height {
 		src.height = frame.Height
@@ -231,11 +258,7 @@ func (r *Relayer) onFrame(src, dst *endpoint, frame *rpc.EventFrame) {
 		// "Failed to collect events": the block's packets are invisible.
 		r.stats.FramesLost++
 		if r.cfg.ClearIntervalBlocks > 0 {
-			if src == r.a {
-				r.missedA = append(r.missedA, frame.Height)
-			} else {
-				r.missedB = append(r.missedB, frame.Height)
-			}
+			r.addMissed(src, frame.Height)
 			r.scheduleClear(src, dst)
 		}
 		r.checkTimeouts(src, dst)
@@ -369,6 +392,12 @@ func (r *Relayer) buildRecvBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 		}
 		r.seenRecv[id] = true
 		r.pendingRecv[id] = p
+		// A packet already expired on the destination (typical when
+		// clearing a backlog after a partition) would be rejected there;
+		// leave it to the timeout path instead of building a doomed recv.
+		if p.TimeoutHeight > 0 && dst.height >= p.TimeoutHeight {
+			continue
+		}
 		fresh = append(fresh, p)
 	}
 	if len(fresh) == 0 {
@@ -534,14 +563,9 @@ func (r *Relayer) flushNext(dst *endpoint) {
 	// Only messages whose proof height is available on the counterparty
 	// can be submitted; the rest wait for the next block.
 	n := 0
-	var maxProof int64
 	for n < len(dst.outbox) && n < r.cfg.MaxMsgsPerTx {
-		m := dst.outbox[n]
-		if m.proofHeight > src.chain.Store.Height() {
+		if dst.outbox[n].proofHeight > src.chain.Store.Height() {
 			break
-		}
-		if m.proofHeight > maxProof {
-			maxProof = m.proofHeight
 		}
 		n++
 	}
@@ -552,18 +576,47 @@ func (r *Relayer) flushNext(dst *endpoint) {
 	batch := append([]outMsg(nil), dst.outbox[:n]...)
 	dst.outbox = append(dst.outbox[:0], dst.outbox[n:]...)
 
-	msgs := make([]app.Msg, 0, n+1)
-	// Prepend a client update when the proofs outrun the client.
-	if maxProof > dst.clientHeight {
-		if upd := r.clientUpdate(src, dst, maxProof); upd != nil {
+	// Prepend a client update for every distinct proof height the batch
+	// needs that the client has no consensus state for yet. A live flow
+	// needs at most one (heights arrive in order); a backlog-clearing
+	// batch spans several historical blocks and needs one per height.
+	// The advance is optimistic: a failed transaction reverts its
+	// updates, so the submission path rolls the local view back.
+	var updHeights []int64
+	for _, m := range batch {
+		h := m.proofHeight
+		if h <= 0 || dst.clientHeights[h] {
+			continue
+		}
+		dst.clientHeights[h] = true
+		updHeights = append(updHeights, h)
+	}
+	sort.Slice(updHeights, func(i, j int) bool { return updHeights[i] < updHeights[j] })
+	msgs := make([]app.Msg, 0, n+len(updHeights))
+	meta := txMeta{updHeights: updHeights}
+	for _, h := range updHeights {
+		if upd := r.clientUpdate(src, dst, h); upd != nil {
 			msgs = append(msgs, *upd)
-			dst.clientHeight = maxProof
 		}
 	}
 	for _, m := range batch {
 		msgs = append(msgs, m.msg)
 	}
-	r.submitTx(dst, msgs, batch, 0)
+	r.submitTx(dst, msgs, batch, meta, 0)
+}
+
+// txMeta remembers a submission's optimistic client-update advances so
+// a failed transaction can undo them (a reverted MsgUpdateClient never
+// stored its consensus state).
+type txMeta struct {
+	updHeights []int64
+}
+
+// rollbackClient undoes a reverted transaction's client updates.
+func (r *Relayer) rollbackClient(dst *endpoint, meta txMeta) {
+	for _, h := range meta.updHeights {
+		delete(dst.clientHeights, h)
+	}
 }
 
 // clientUpdate builds a MsgUpdateClient for dst's client of src at the
@@ -582,20 +635,25 @@ func (r *Relayer) clientUpdate(src, dst *endpoint, height int64) *app.Msg {
 
 // submitTx broadcasts one relayer transaction, handling sequence
 // initialization, mismatch recovery and confirmation polling.
-func (r *Relayer) submitTx(dst *endpoint, msgs []app.Msg, batch []outMsg, attempt int) {
+func (r *Relayer) submitTx(dst *endpoint, msgs []app.Msg, batch []outMsg, meta txMeta, attempt int) {
 	if r.stopped {
+		// Crash injection mid-submission: abandon the batch like the
+		// confirmation path does, so a post-resume clearing pass can
+		// rebuild it.
 		dst.flushing = false
+		r.rollbackClient(dst, meta)
+		r.releaseBatch(dst, batch)
 		return
 	}
 	if !dst.seqInit {
 		dst.rpc.QueryAccountSequence(r.host, dst.account, func(seq uint64, err error) {
 			if err != nil {
-				r.sched.After(r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, attempt) })
+				r.sched.After(r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, meta, attempt) })
 				return
 			}
 			dst.seq = seq
 			dst.seqInit = true
-			r.submitTx(dst, msgs, batch, attempt)
+			r.submitTx(dst, msgs, batch, meta, attempt)
 		})
 		return
 	}
@@ -609,24 +667,29 @@ func (r *Relayer) submitTx(dst *endpoint, msgs []app.Msg, batch []outMsg, attemp
 			for _, m := range batch {
 				r.track(r.keyOfMsg(dst, m), m.step, now)
 			}
-			r.confirmTx(dst, tx, batch, 0)
+			r.confirmTx(dst, tx, batch, meta, 0)
 			// Pipeline: submit the next batch immediately.
 			r.flushNext(dst)
 		case errors.Is(err, app.ErrSequenceMismatch):
 			r.stats.SeqMismatchErrors++
 			dst.seqInit = false
 			if attempt < 5 {
-				r.sched.After(r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, attempt+1) })
+				r.sched.After(r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, meta, attempt+1) })
 			} else {
 				r.stats.TxsFailed++
+				r.rollbackClient(dst, meta)
+				r.releaseBatch(dst, batch)
 				r.flushNext(dst)
 			}
 		default:
-			// Mempool full or timeout: back off and retry.
+			// Mempool full, RPC timeout or a partitioned path: back off
+			// and retry, then give the batch up to a later clearing pass.
 			if attempt < 5 {
-				r.sched.After(5*r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, attempt+1) })
+				r.sched.After(5*r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, meta, attempt+1) })
 			} else {
 				r.stats.TxsFailed++
+				r.rollbackClient(dst, meta)
+				r.releaseBatch(dst, batch)
 				r.flushNext(dst)
 			}
 		}
@@ -635,15 +698,17 @@ func (r *Relayer) submitTx(dst *endpoint, msgs []app.Msg, batch []outMsg, attemp
 
 // confirmTx polls for a submitted transaction's commitment, recording
 // confirmation steps and handling redundant-packet failures.
-func (r *Relayer) confirmTx(dst *endpoint, tx *app.Tx, batch []outMsg, attempt int) {
+func (r *Relayer) confirmTx(dst *endpoint, tx *app.Tx, batch []outMsg, meta txMeta, attempt int) {
 	if attempt >= r.cfg.ConfirmAttempts || r.stopped {
 		r.stats.TxsFailed++
+		r.rollbackClient(dst, meta)
+		r.releaseBatch(dst, batch)
 		return
 	}
 	r.sched.After(r.cfg.ConfirmPoll, func() {
 		dst.rpc.QueryTx(r.host, tx.Hash(), func(info *store.TxInfo, err error) {
 			if err != nil {
-				r.confirmTx(dst, tx, batch, attempt+1)
+				r.confirmTx(dst, tx, batch, meta, attempt+1)
 				return
 			}
 			now := r.sched.Now()
@@ -671,15 +736,24 @@ func (r *Relayer) confirmTx(dst *endpoint, tx *app.Tx, batch []outMsg, attempt i
 			// Failed transaction: with two relayers this is typically
 			// "packet messages are redundant".
 			r.stats.TxsFailed++
+			r.rollbackClient(dst, meta)
 			if containsRedundant(info.Result.Log) {
 				r.stats.RedundantErrors++
 			}
 			// Retry non-retried messages once: a partially redundant
-			// batch reverts its legitimate messages too.
+			// batch reverts its legitimate messages too. Messages whose
+			// packet another relayer already settled on chain are filtered
+			// out first (Hermes re-queries unreceived_packets before
+			// rebuilding), so a backlog-clearing batch colliding with
+			// prior deliveries still lands its fresh messages on the
+			// retry.
 			var retry []outMsg
 			for _, m := range batch {
 				if !m.retried {
 					m.retried = true
+					if r.settledOnChain(dst, m) {
+						continue
+					}
 					retry = append(retry, m)
 				}
 			}
@@ -689,6 +763,60 @@ func (r *Relayer) confirmTx(dst *endpoint, tx *app.Tx, batch []outMsg, attempt i
 			}
 		})
 	})
+}
+
+// settledOnChain reports whether a message's packet no longer needs
+// relaying because its on-chain effect is already committed — the
+// receipt exists on the destination (recv) or the commitment is cleared
+// on the source (ack/timeout). Models Hermes' unreceived_packets /
+// unreceived_acks re-query before a rebuild; the query cost is folded
+// into the confirmation polling that precedes every retry.
+func (r *Relayer) settledOnChain(dst *endpoint, m outMsg) bool {
+	c := dst.chain
+	ctx := &app.Context{ChainID: c.ID, State: c.App.State(), Bank: c.App.Bank(), App: c.App}
+	p := m.packet
+	switch m.msg.(type) {
+	case ibc.MsgRecvPacket:
+		return c.Keeper.HasReceipt(ctx, p.DestPort, p.DestChannel, p.Sequence)
+	case ibc.MsgAcknowledgement, ibc.MsgTimeout:
+		return !c.Keeper.HasCommitment(ctx, p.SourcePort, p.SourceChannel, p.Sequence)
+	default:
+		return false
+	}
+}
+
+// releaseBatch forgets the seen-marks of messages whose delivery could
+// not be confirmed (network failures, partitions) and re-queues their
+// origin heights for the clearing pass, so the messages are rebuilt
+// instead of leaving the packets stuck — the height was processed
+// normally, so no frame gap would ever re-scan it. Recv packets also
+// stay in pendingRecv, keeping the timeout path armed; timed-out
+// packets whose MsgTimeout was lost re-enter pendingRecv for another
+// attempt.
+func (r *Relayer) releaseBatch(dst *endpoint, batch []outMsg) {
+	src := r.counterpartOf(dst)
+	requeued := false
+	for _, m := range batch {
+		switch m.msg.(type) {
+		case ibc.MsgRecvPacket, ibc.MsgAcknowledgement:
+			if _, isRecv := m.msg.(ibc.MsgRecvPacket); isRecv {
+				delete(r.seenRecv, pktID{src.chain.ID, m.packet.SourceChannel, m.packet.Sequence})
+			} else {
+				delete(r.seenAck, pktID{dst.chain.ID, m.packet.SourceChannel, m.packet.Sequence})
+			}
+			// Both message kinds were built from an event on the
+			// counterparty at proofHeight-1; re-scan that height.
+			if r.cfg.ClearIntervalBlocks > 0 && m.proofHeight > 1 {
+				r.addMissed(src, m.proofHeight-1)
+				requeued = true
+			}
+		case ibc.MsgTimeout:
+			r.pendingRecv[pktID{dst.chain.ID, m.packet.SourceChannel, m.packet.Sequence}] = m.packet
+		}
+	}
+	if requeued {
+		r.scheduleClear(src, dst)
+	}
 }
 
 // scheduleClear arranges a packet-clear pass over missed heights.
@@ -710,7 +838,14 @@ func (r *Relayer) scheduleClear(src, dst *endpoint) {
 		} else {
 			r.missedB = nil
 		}
+		// Dedupe: a released batch queues one entry per message, and gaps
+		// can overlap earlier misses — one indexed query per height.
+		seen := make(map[int64]bool, len(missed))
 		for _, h := range missed {
+			if seen[h] {
+				continue
+			}
+			seen[h] = true
 			src.rpc.QueryBlockEvents(r.host, h, func(be *eventindex.BlockEvents, err error) {
 				if err != nil || r.stopped {
 					return

@@ -71,6 +71,10 @@ type Scheduler struct {
 	seq     uint64
 	stopped bool
 
+	// free recycles fired events so steady-state scheduling (the netem
+	// send path fires one event per message) allocates nothing.
+	free []*event
+
 	// processed counts events executed so far, for diagnostics and
 	// runaway-simulation protection.
 	processed uint64
@@ -103,7 +107,16 @@ func (s *Scheduler) At(t time.Duration, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, s.seq, fn
+	} else {
+		ev = &event{at: t, seq: s.seq, fn: fn}
+	}
+	heap.Push(&s.queue, ev)
 }
 
 // After schedules fn to run delta after the current virtual time.
@@ -117,7 +130,9 @@ func (s *Scheduler) After(delta time.Duration, fn func()) {
 // Stop halts the run loop after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// step executes the earliest pending event, advancing the clock.
+// step executes the earliest pending event, advancing the clock. The
+// event is recycled before its callback runs, so a callback that
+// schedules follow-up work reuses the just-freed slot.
 func (s *Scheduler) step() {
 	ev, ok := heap.Pop(&s.queue).(*event)
 	if !ok {
@@ -125,7 +140,10 @@ func (s *Scheduler) step() {
 	}
 	s.now = ev.at
 	s.processed++
-	ev.fn()
+	fn := ev.fn
+	ev.fn = nil
+	s.free = append(s.free, ev)
+	fn()
 }
 
 // Run dispatches events until the queue is empty or Stop is called.

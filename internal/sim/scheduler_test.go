@@ -75,6 +75,39 @@ func TestSchedulerAfterNested(t *testing.T) {
 	}
 }
 
+// TestSchedulerEventRecycling: the freelist behind the zero-alloc send
+// path must never mix up recycled events — callbacks scheduled from
+// inside other callbacks (which reuse just-freed slots) still fire in
+// strict (time, submission) order with their own closures.
+func TestSchedulerEventRecycling(t *testing.T) {
+	s := NewScheduler()
+	const n = 500
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			got = append(got, i)
+			// Nested event lands between the outer ones and reuses the
+			// slot just freed by this very callback.
+			s.After(500*time.Microsecond, func() { got = append(got, n+i) })
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2*n {
+		t.Fatalf("fired %d events, want %d", len(got), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		if got[2*i] != i || got[2*i+1] != n+i {
+			t.Fatalf("order broken at %d: %v %v", i, got[2*i], got[2*i+1])
+		}
+	}
+	if s.Processed() != 2*n {
+		t.Fatalf("processed = %d", s.Processed())
+	}
+}
+
 func TestSchedulerStop(t *testing.T) {
 	s := NewScheduler()
 	n := 0

@@ -184,6 +184,16 @@ func (e *Engine) ValidatorSet() *types.ValidatorSet { return e.valset }
 // PrimaryHost is the network host of the RPC-serving full node.
 func (e *Engine) PrimaryHost() netem.Host { return e.nodes[e.primary].host }
 
+// Hosts lists every validator node's network host, in index order (the
+// geo region model places all of a chain's machines in its region).
+func (e *Engine) Hosts() []netem.Host {
+	out := make([]netem.Host, len(e.nodes))
+	for i, n := range e.nodes {
+		out[i] = n.host
+	}
+	return out
+}
+
 // Store exposes the canonical block store.
 func (e *Engine) Store() *store.Store { return e.stor }
 

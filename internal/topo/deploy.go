@@ -8,12 +8,14 @@ import (
 	"time"
 
 	"ibcbench/internal/chain"
+	"ibcbench/internal/geo"
 	"ibcbench/internal/ibc/pfm"
 	"ibcbench/internal/ibc/transfer"
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/netem"
 	"ibcbench/internal/relayer"
 	"ibcbench/internal/sim"
+	"ibcbench/internal/simconf"
 	"ibcbench/internal/workload"
 )
 
@@ -30,6 +32,19 @@ type DeployConfig struct {
 	// ClearIntervalBlocks / MaxMsgsPerTx forward to every relayer.
 	ClearIntervalBlocks int64
 	MaxMsgsPerTx        int
+	// Geo places every host into a region of this model and compiles the
+	// inter-region matrix into per-host-pair netem overrides. Chains take
+	// their ChainSpec.Region or round-robin over the model's regions;
+	// relayer j of an edge lands in the region of side A (even j) or B
+	// (odd j); standbys land on side B.
+	Geo *geo.Model
+	// Standby adds a passive standby relayer plus a failover supervisor
+	// to every edge (per-edge opt-in via EdgeSpec.Standby).
+	Standby bool
+	// FailoverDetectBlocks is the supervisor's detection window in block
+	// intervals: missed health probes for this long activate the standby
+	// (0 = 2 blocks).
+	FailoverDetectBlocks int
 }
 
 // Link is one deployed edge: the seeded channel pair, its relayers, its
@@ -39,6 +54,10 @@ type Link struct {
 	Spec     EdgeSpec
 	Pair     *chain.Pair
 	Relayers []*relayer.Relayer
+	// Standby is the edge's passive backup relayer (nil unless enabled);
+	// Failover is the supervisor activating it.
+	Standby  *relayer.Relayer
+	Failover *Failover
 	// Tracker aggregates packet lifecycles for this edge only; roll
 	// edges up with metrics.MergeCounts.
 	Tracker *metrics.Tracker
@@ -48,6 +67,27 @@ type Link struct {
 	// legGens are the dedicated generators of route legs that crossed
 	// this edge, kept for workload accounting.
 	legGens []*workload.Generator
+}
+
+// relayerAt resolves a chaos/failover relayer ordinal: the active
+// relayers first, then the standby as the last ordinal.
+func (l *Link) relayerAt(i int) *relayer.Relayer {
+	if i >= 0 && i < len(l.Relayers) {
+		return l.Relayers[i]
+	}
+	if l.Standby != nil && i == len(l.Relayers) {
+		return l.Standby
+	}
+	return nil
+}
+
+// relayerCount reports active relayers plus the standby.
+func (l *Link) relayerCount() int {
+	n := len(l.Relayers)
+	if l.Standby != nil {
+		n++
+	}
+	return n
 }
 
 // Forward returns (creating on first use) the generator submitting
@@ -74,6 +114,7 @@ func (l *Link) newGenerator(src, dst *chain.Chain, channel, dir string) *workloa
 	// Namespace accounts per edge+direction: several generators can share
 	// one source chain (a hub) without sequence clashes.
 	g.AccountPrefix = fmt.Sprintf("user-e%d%s", l.Index, dir)
+	d.placeWithChain(g.Host(), src)
 	return g
 }
 
@@ -93,6 +134,7 @@ func (l *Link) newRouteGenerator(from, route, hop int) *workload.Generator {
 	g := workload.NewOnChannel(d.Sched, d.RNG, src, dst, channel,
 		l.Relayers[0].EndpointRPC(src.ID), l.Tracker)
 	g.AccountPrefix = fmt.Sprintf("route-r%d-h%d", route, hop)
+	d.placeWithChain(g.Host(), src)
 	l.legGens = append(l.legGens, g)
 	return g
 }
@@ -114,6 +156,34 @@ type Deployment struct {
 	RNG      *sim.RNG
 	Chains   []*chain.Chain
 	Links    []*Link
+	// Geo is the host→region assignment (nil without a region model).
+	Geo *geo.Assignment
+
+	// regions holds each chain's resolved region (empty without geo).
+	regions []geo.Region
+}
+
+// RegionOf reports the region chain i was placed in ("" without geo).
+func (d *Deployment) RegionOf(i int) geo.Region {
+	if d.regions == nil {
+		return ""
+	}
+	return d.regions[i]
+}
+
+// placeWithChain places a late-created host (workload driver) in the
+// given chain's region.
+func (d *Deployment) placeWithChain(h netem.Host, c *chain.Chain) {
+	if d.Geo == nil {
+		return
+	}
+	for i, have := range d.Chains {
+		if have == c {
+			// Placement over a validated model cannot fail.
+			_ = d.Geo.PlaceAndApply(d.Net, h, d.regions[i])
+			return
+		}
+	}
 }
 
 // ForwardMemo builds the nested packet-forward memo that routes a
@@ -159,16 +229,51 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 	rng := sim.NewRNG(cfg.Seed)
 	network := netem.New(sched, rng, cfg.Network)
 	d := &Deployment{Topology: t, Sched: sched, Net: network, RNG: rng}
+	if cfg.Geo != nil {
+		asg, err := geo.NewAssignment(cfg.Geo)
+		if err != nil {
+			return nil, err
+		}
+		d.Geo = asg
+		d.regions = make([]geo.Region, len(t.Chains))
+		for i, spec := range t.Chains {
+			d.regions[i] = spec.Region
+			if d.regions[i] == "" {
+				d.regions[i] = cfg.Geo.RegionAt(i)
+			}
+		}
+	}
+	placeChainHost := func(i int) func(netem.Host) {
+		region := d.regions[i]
+		return func(h netem.Host) { _ = d.Geo.PlaceAndApply(d.Net, h, region) }
+	}
 	for i, spec := range t.Chains {
 		vals := spec.Validators
 		if vals == 0 {
 			vals = cfg.Validators
 		}
-		d.Chains = append(d.Chains, chain.New(sched, network, chain.Config{
+		c := chain.New(sched, network, chain.Config{
 			ChainID:    t.ChainID(i),
 			Validators: vals,
 			FullProofs: cfg.FullProofs,
-		}))
+		})
+		if d.Geo != nil {
+			if err := validRegion(cfg.Geo, d.regions[i], t.ChainID(i)); err != nil {
+				return nil, err
+			}
+			place := placeChainHost(i)
+			for _, h := range c.Hosts() {
+				place(h)
+			}
+			// Relayer full nodes attach to the chain later; place them in
+			// the chain's region as they appear.
+			c.OnHost(place)
+		}
+		d.Chains = append(d.Chains, c)
+	}
+	detect := cfg.FailoverDetectBlocks
+	if detect <= 0 {
+		detect = 2
 	}
 	for i, e := range t.Edges {
 		l := &Link{
@@ -182,20 +287,54 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 		if n <= 0 {
 			n = perEdge
 		}
-		for j := 0; j < n; j++ {
-			rcfg := relayer.DefaultConfig(fmt.Sprintf("hermes-e%d-%d", i, j))
+		newRelayer := func(j int, name string) *relayer.Relayer {
+			rcfg := relayer.DefaultConfig(name)
 			rcfg.Tracker = l.Tracker
 			rcfg.ClearIntervalBlocks = cfg.ClearIntervalBlocks
 			if cfg.MaxMsgsPerTx > 0 {
 				rcfg.MaxMsgsPerTx = cfg.MaxMsgsPerTx
 			}
+			if j < 0 {
+				// The standby's takeover relies on gap-driven clearing.
+				if rcfg.ClearIntervalBlocks <= 0 {
+					rcfg.ClearIntervalBlocks = 1
+				}
+			}
 			r := relayer.New(sched, rng, rcfg, l.Pair)
+			if d.Geo != nil {
+				// Even ordinals sit with side A, odd ones (and the
+				// standby) with side B — a partitioned primary leaves a
+				// reachable standby.
+				side := e.A
+				if j < 0 || j%2 == 1 {
+					side = e.B
+				}
+				_ = d.Geo.PlaceAndApply(d.Net, r.Host(), d.regions[side])
+			}
+			return r
+		}
+		for j := 0; j < n; j++ {
+			r := newRelayer(j, fmt.Sprintf("hermes-e%d-%d", i, j))
 			r.Start()
 			l.Relayers = append(l.Relayers, r)
+		}
+		if cfg.Standby || e.Standby {
+			l.Standby = newRelayer(-1, fmt.Sprintf("hermes-e%d-standby", i))
+			l.Failover = newFailover(d, l, time.Duration(detect)*simconf.MinBlockInterval)
 		}
 		d.Links = append(d.Links, l)
 	}
 	return d, nil
+}
+
+// validRegion checks a chain's region exists in the model.
+func validRegion(m *geo.Model, r geo.Region, chainID string) error {
+	for _, have := range m.Regions {
+		if have == r {
+			return nil
+		}
+	}
+	return fmt.Errorf("topo: chain %s placed in unknown region %q of model %s", chainID, r, m.Name)
 }
 
 // Start begins block production on every chain.

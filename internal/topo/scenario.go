@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"ibcbench/internal/chaos"
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/relayer"
 	"ibcbench/internal/sim"
@@ -54,6 +55,12 @@ type Scenario struct {
 	Windows int
 	// Routes are multi-hop flows started at scenario begin.
 	Routes []Route
+	// Chaos is the fault timeline injected during the run; the applied
+	// faults are folded into the result.
+	Chaos chaos.Timeline
+	// RecordCurves includes per-edge cleared-backlog curves in the
+	// result (one sample per completed packet — skip for large sweeps).
+	RecordCurves bool
 	// Until is the virtual run deadline (0 = derived from the workload).
 	Until time.Duration
 }
@@ -64,8 +71,18 @@ type EdgeReport struct {
 	From, To   string
 	Completion map[metrics.Status]int
 	Throughput float64 // completed transfers per virtual second on this edge
-	Workload   workload.Stats
-	Relayers   []relayer.Stats
+	// Latency summarizes per-packet completion latencies (seconds, from
+	// transfer broadcast to acknowledgement confirmation).
+	Latency  metrics.Dist
+	Workload workload.Stats
+	Relayers []relayer.Stats
+	// Cleared is the edge's cleared-backlog curve — the sorted absolute
+	// times each packet's acknowledgement confirmed — recorded when the
+	// scenario sets RecordCurves (fault-window experiments read the
+	// post-outage catch-up from it).
+	Cleared metrics.Series
+	// Failover reports the edge's standby supervision (nil without one).
+	Failover *FailoverReport
 }
 
 // RouteReport is the per-route slice of a scenario result.
@@ -100,6 +117,8 @@ type Result struct {
 	RoutesCompleted int
 	// Routes reports each multi-hop route's mode, latency and hop series.
 	Routes []RouteReport
+	// Faults is the injected-fault log, in application order.
+	Faults []chaos.Applied
 }
 
 // routeRun tracks one in-flight multi-hop route.
@@ -148,11 +167,23 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 			d.Sched.At(time.Millisecond, func() { d.startLeg(rr) })
 		}
 	}
+	var inj *chaos.Injector
+	if !s.Chaos.Empty() {
+		var err error
+		inj, err = chaos.Inject(d.Sched, d, s.Chaos)
+		if err != nil {
+			return nil, err
+		}
+	}
 	d.Start()
 	if err := d.Run(s.deadline(windows)); err != nil {
 		return nil, err
 	}
-	return s.analyze(d, seed, runs), nil
+	res := s.analyze(d, seed, runs)
+	if inj != nil {
+		res.Faults = inj.Log().Applied
+	}
+	return res, nil
 }
 
 func (s Scenario) withSeed(seed int64) DeployConfig {
@@ -189,6 +220,13 @@ func (s Scenario) deadline(windows int) time.Duration {
 		legs := time.Duration(len(rt.Path)-1) * 12 * simconf.MinBlockInterval * 2
 		if legs > d {
 			d = legs
+		}
+	}
+	// Leave recovery room after the last injected fault: detection,
+	// backlog clearing and timeout refunds all happen behind it.
+	for _, ev := range s.Chaos.Events {
+		if after := ev.At + 16*simconf.MinBlockInterval; after > d {
+			d = after
 		}
 	}
 	return d
@@ -295,6 +333,18 @@ func (s Scenario) analyze(d *Deployment, seed int64, runs []*routeRun) *Result {
 		if now > 0 {
 			rep.Throughput = float64(counts[metrics.StatusCompleted]) / now.Seconds()
 		}
+		latencies := l.Tracker.CompletionTimes()
+		samples := make([]float64, len(latencies))
+		for i, lat := range latencies {
+			samples[i] = lat.Seconds()
+		}
+		rep.Latency = metrics.Summarize(samples)
+		if s.RecordCurves {
+			rep.Cleared = metrics.Series{
+				Name:    "cleared",
+				Samples: l.Tracker.StepCompletionCurve(metrics.StepAckConfirmation),
+			}
+		}
 		gens := l.legGens
 		if l.fwd != nil {
 			gens = append([]*workload.Generator{l.fwd}, gens...)
@@ -310,6 +360,9 @@ func (s Scenario) analyze(d *Deployment, seed int64, runs []*routeRun) *Result {
 		}
 		for _, r := range l.Relayers {
 			rep.Relayers = append(rep.Relayers, r.Stats())
+		}
+		if l.Failover != nil {
+			rep.Failover = l.Failover.Report()
 		}
 		res.Edges = append(res.Edges, rep)
 	}
@@ -397,9 +450,21 @@ func (r *Result) Render(w io.Writer) {
 			e.Completion[metrics.StatusInitiated], e.Completion[metrics.StatusNotCommitted],
 			e.Throughput)
 	}
+	for _, e := range r.Edges {
+		if e.Failover == nil {
+			continue
+		}
+		fmt.Fprintf(w, "edge %d failover: takeovers=%d downtime=%v (%d outages) standby recv=%d acks=%d timeouts=%d\n",
+			e.Edge, e.Failover.Takeovers, e.Failover.Downtime.Sum(), e.Failover.Downtime.Len(),
+			e.Failover.Standby.RecvDelivered, e.Failover.Standby.AcksDelivered,
+			e.Failover.Standby.TimeoutsDelivered)
+	}
 	fmt.Fprintf(w, "total: completed=%d partial=%d initiated=%d notcommitted=%d (%.2f TFPS)\n",
 		r.Total[metrics.StatusCompleted], r.Total[metrics.StatusPartial],
 		r.Total[metrics.StatusInitiated], r.Total[metrics.StatusNotCommitted], r.Throughput)
+	for _, f := range r.Faults {
+		fmt.Fprintf(w, "fault @%v: %s\n", f.At, f.Desc)
+	}
 	if r.RoutesCompleted > 0 {
 		fmt.Fprintf(w, "routes completed: %d\n", r.RoutesCompleted)
 	}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"ibcbench/internal/geo"
 )
 
 // ChainSpec declares one blockchain node of the graph.
@@ -25,6 +27,10 @@ type ChainSpec struct {
 	ID string
 	// Validators overrides the validator-set size (0 = paper default).
 	Validators int
+	// Region places the chain's machines in a named region of the
+	// deployment's geo model (empty = round-robin over the model's
+	// regions). Ignored without a geo model.
+	Region geo.Region
 }
 
 // EdgeSpec declares one IBC link between two chains.
@@ -34,6 +40,9 @@ type EdgeSpec struct {
 	A, B int
 	// Relayers overrides the per-edge relayer count (0 = deploy default).
 	Relayers int
+	// Standby adds a passive standby relayer with failover supervision
+	// to this edge (also enabled globally via DeployConfig.Standby).
+	Standby bool
 }
 
 // Topology is the declarative interchain graph.

@@ -153,6 +153,9 @@ func (g *Generator) recordBroadcasts(chainID string, cb *store.CommittedBlock) {
 // Stats reports submission outcomes so far.
 func (g *Generator) Stats() Stats { return g.stats }
 
+// Host reports the generator's network address (geo placement).
+func (g *Generator) Host() netem.Host { return g.host }
+
 // PacketKeys returns, in commit order, the keys of every packet this
 // generator's committed transfers produced (requires a tracker).
 func (g *Generator) PacketKeys() []metrics.PacketKey { return g.keys }
