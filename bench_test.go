@@ -284,31 +284,36 @@ func BenchmarkStateCommit(b *testing.B) {
 }
 
 // BenchmarkVoteFanout measures consensus block production as the
-// validator set grows — the next intra-run hot-path candidate after
-// event decode and merkle commits (ROADMAP). Every vote is signed once
-// and verified by each of the V receiving nodes, so per-height fan-out
-// work is O(V^2) signature checks across two voting stages; the
-// blocks-per-virtual-minute metric pins how the simulator's wall-clock
-// cost scales with the set size.
+// validator set grows. The shared vote-verification engine
+// (internal/tendermint/votesig) checks each gossiped vote's ed25519
+// signature exactly once chain-wide, so per-height signature work is
+// O(V) across the two voting stages; the `vals-13-reference` variant
+// runs the pre-engine per-receiver path (O(V^2) checks) as the
+// regression anchor. Virtual results are identical either way —
+// blocks-per-virtual-minute must not move.
 func BenchmarkVoteFanout(b *testing.B) {
-	for _, vals := range []int{5, 9, 13} {
-		b.Run(fmt.Sprintf("vals-%d", vals), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				sched := sim.NewScheduler()
-				rng := sim.NewRNG(int64(31 + i))
-				network := netem.New(sched, rng, netem.DefaultWAN())
-				c := chain.New(sched, network, chain.Config{ChainID: "fanout", Validators: vals})
-				c.Start()
-				if err := sched.RunUntil(60 * time.Second); err != nil {
-					b.Fatal(err)
-				}
-				if c.Store.Height() == 0 {
-					b.Fatal("no blocks committed")
-				}
-				b.ReportMetric(float64(c.Store.Height()), "blocks-per-vmin")
+	runChain := func(b *testing.B, vals int, reference bool) {
+		for i := 0; i < b.N; i++ {
+			sched := sim.NewScheduler()
+			rng := sim.NewRNG(int64(31 + i))
+			network := netem.New(sched, rng, netem.DefaultWAN())
+			c := chain.New(sched, network, chain.Config{
+				ChainID: "fanout", Validators: vals, ReferenceVoteVerify: reference,
+			})
+			c.Start()
+			if err := sched.RunUntil(60 * time.Second); err != nil {
+				b.Fatal(err)
 			}
-		})
+			if c.Store.Height() == 0 {
+				b.Fatal("no blocks committed")
+			}
+			b.ReportMetric(float64(c.Store.Height()), "blocks-per-vmin")
+		}
 	}
+	for _, vals := range []int{5, 9, 13} {
+		b.Run(fmt.Sprintf("vals-%d", vals), func(b *testing.B) { runChain(b, vals, false) })
+	}
+	b.Run("vals-13-reference", func(b *testing.B) { runChain(b, 13, true) })
 }
 
 var _ = metrics.StatusCompleted

@@ -13,7 +13,14 @@ import (
 )
 
 // runDiff loads two -out result files and prints per-metric deltas.
-func runDiff(oldPath, newPath string, w io.Writer) error {
+// A non-negative failPct arms the CI regression gate: a non-nil error is
+// returned (and the process exits nonzero) when any numeric metric moves
+// beyond that tolerance in percent. Files whose config headers disagree
+// are excluded from the gate — their deltas measure the config change,
+// not a regression — as are added/removed metrics (new benchmarks must
+// not fail the gate). A metric moving off zero has no defined percent
+// change and always trips an armed gate.
+func runDiff(oldPath, newPath string, failPct float64, w io.Writer) error {
 	oldDoc, err := loadResults(oldPath)
 	if err != nil {
 		return err
@@ -22,7 +29,7 @@ func runDiff(oldPath, newPath string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	warnConfigMismatch(oldDoc, newDoc, w)
+	mismatched := warnConfigMismatch(oldDoc, newDoc, w)
 	oldFlat := flatten("", oldDoc)
 	newFlat := flatten("", newDoc)
 	// The config header is compared (and warned about) above; keep it
@@ -55,6 +62,7 @@ func runDiff(oldPath, newPath string, w io.Writer) error {
 	sort.Strings(removed)
 
 	fmt.Fprintf(w, "# diff %s -> %s\n", oldPath, newPath)
+	var exceeded []string
 	if len(changed) == 0 && len(added) == 0 && len(removed) == 0 {
 		fmt.Fprintf(w, "no differences (%d metrics compared)\n", unchanged)
 		return nil
@@ -70,6 +78,9 @@ func runDiff(oldPath, newPath string, w io.Writer) error {
 				pct := "n/a"
 				if on != 0 {
 					pct = fmt.Sprintf("%+.1f%%", 100*delta/math.Abs(on))
+				}
+				if failPct >= 0 && (on == 0 || 100*math.Abs(delta)/math.Abs(on) > failPct) {
+					exceeded = append(exceeded, fmt.Sprintf("%s: %s -> %s (%s)", path, fmtNum(on), fmtNum(nn), pct))
 				}
 				sign := ""
 				if delta >= 0 {
@@ -90,6 +101,16 @@ func runDiff(oldPath, newPath string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "%d changed, %d added, %d removed, %d unchanged\n",
 		len(changed), len(added), len(removed), unchanged)
+	if len(exceeded) > 0 {
+		if mismatched {
+			fmt.Fprintf(w, "fail-on-change gate skipped: config headers mismatch (deltas reflect the config change)\n")
+			return nil
+		}
+		for _, m := range exceeded {
+			fmt.Fprintf(w, "exceeds ±%.1f%%: %s\n", failPct, m)
+		}
+		return fmt.Errorf("diff: %d metric(s) moved beyond ±%.1f%%", len(exceeded), failPct)
+	}
 	return nil
 }
 
@@ -97,12 +118,13 @@ func runDiff(oldPath, newPath string, w io.Writer) error {
 // region preset, netem config, seed, ...) and warns when they disagree:
 // a metric diff across different configurations measures the config
 // change, not a regression. Documents without a header (pre-header
-// results) are compared silently.
-func warnConfigMismatch(oldDoc, newDoc any, w io.Writer) {
+// results) are compared silently. The return reports whether the headers
+// mismatched (which disarms the fail-on-change gate).
+func warnConfigMismatch(oldDoc, newDoc any, w io.Writer) bool {
 	oldCfg := configHeader(oldDoc)
 	newCfg := configHeader(newDoc)
 	if oldCfg == nil || newCfg == nil {
-		return
+		return false
 	}
 	oldFlat := flatten("config", oldCfg)
 	newFlat := flatten("config", newCfg)
@@ -123,13 +145,14 @@ func warnConfigMismatch(oldDoc, newDoc any, w io.Writer) {
 		}
 	}
 	if len(mismatched) == 0 {
-		return
+		return false
 	}
 	sort.Strings(mismatched)
 	fmt.Fprintln(w, "WARNING: result files were produced with different configurations; metric deltas below reflect the config change, not a regression:")
 	for _, m := range mismatched {
 		fmt.Fprintf(w, "  %s\n", m)
 	}
+	return true
 }
 
 // dropConfig removes the config header's flattened leaves from a metric

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +29,7 @@ func TestDiffReportsDeltas(t *testing.T) {
 		"fresh": true
 	}`)
 	var sb strings.Builder
-	if err := runDiff(oldPath, newPath, &sb); err != nil {
+	if err := runDiff(oldPath, newPath, -1, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -58,7 +59,7 @@ func TestDiffWarnsOnConfigMismatch(t *testing.T) {
 		"topo": {"Throughput": 80.0}
 	}`)
 	var sb strings.Builder
-	if err := runDiff(oldPath, newPath, &sb); err != nil {
+	if err := runDiff(oldPath, newPath, -1, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -91,7 +92,7 @@ func TestDiffConfigOnlyDifference(t *testing.T) {
 		"topo": {"Throughput": 100.0}
 	}`)
 	var sb strings.Builder
-	if err := runDiff(oldPath, newPath, &sb); err != nil {
+	if err := runDiff(oldPath, newPath, -1, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -108,7 +109,7 @@ func TestDiffNoWarningOnMatchingConfigs(t *testing.T) {
 		}`)
 	}
 	var sb strings.Builder
-	if err := runDiff(mk("old.json", 100), mk("new.json", 90), &sb); err != nil {
+	if err := runDiff(mk("old.json", 100), mk("new.json", 90), -1, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(sb.String(), "WARNING") {
@@ -118,7 +119,7 @@ func TestDiffNoWarningOnMatchingConfigs(t *testing.T) {
 	a := writeTemp(t, "a.json", `{"topo": 1}`)
 	b := writeTemp(t, "b.json", `{"topo": 2}`)
 	sb.Reset()
-	if err := runDiff(a, b, &sb); err != nil {
+	if err := runDiff(a, b, -1, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(sb.String(), "WARNING") {
@@ -131,7 +132,7 @@ func fmtFloat(f float64) string { return strings.TrimRight(strings.TrimRight(fmt
 func TestDiffIdenticalFiles(t *testing.T) {
 	p := writeTemp(t, "same.json", `{"a": 1, "b": {"c": [1, 2]}}`)
 	var sb strings.Builder
-	if err := runDiff(p, p, &sb); err != nil {
+	if err := runDiff(p, p, -1, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "no differences") {
@@ -142,7 +143,148 @@ func TestDiffIdenticalFiles(t *testing.T) {
 func TestDiffMissingFile(t *testing.T) {
 	p := writeTemp(t, "a.json", `{}`)
 	var sb strings.Builder
-	if err := runDiff(p, filepath.Join(t.TempDir(), "missing.json"), &sb); err == nil {
+	if err := runDiff(p, filepath.Join(t.TempDir(), "missing.json"), -1, &sb); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// --- fail-on-change CI gate --------------------------------------------------
+
+func TestDiffFailOnChangeTrips(t *testing.T) {
+	oldPath := writeTemp(t, "old.json", `{"bench": {"BenchmarkVoteFanout/vals-13": {"ns/op": 100000.0}}}`)
+	newPath := writeTemp(t, "new.json", `{"bench": {"BenchmarkVoteFanout/vals-13": {"ns/op": 150000.0}}}`)
+	var sb strings.Builder
+	err := runDiff(oldPath, newPath, 20, &sb)
+	if err == nil {
+		t.Fatalf("+50%% move within a 20%% tolerance did not trip the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "beyond") {
+		t.Fatalf("gate error %q does not name the tolerance", err)
+	}
+	if !strings.Contains(sb.String(), "exceeds") {
+		t.Fatalf("gate output does not list the exceeding metric:\n%s", sb.String())
+	}
+}
+
+func TestDiffFailOnChangeWithinTolerance(t *testing.T) {
+	oldPath := writeTemp(t, "old.json", `{"m": {"a": 100.0, "b": 10.0}}`)
+	newPath := writeTemp(t, "new.json", `{"m": {"a": 110.0, "b": 10.5}}`)
+	var sb strings.Builder
+	// +10% and +5% moves under a 25% tolerance: exit zero.
+	if err := runDiff(oldPath, newPath, 25, &sb); err != nil {
+		t.Fatalf("moves within tolerance tripped the gate: %v\n%s", err, sb.String())
+	}
+}
+
+func TestDiffFailOnChangeZeroBaseline(t *testing.T) {
+	// A metric moving off zero has no percent change; an armed gate trips.
+	oldPath := writeTemp(t, "old.json", `{"errors": 0}`)
+	newPath := writeTemp(t, "new.json", `{"errors": 3}`)
+	var sb strings.Builder
+	if err := runDiff(oldPath, newPath, 50, &sb); err == nil {
+		t.Fatalf("0 -> 3 move did not trip the gate:\n%s", sb.String())
+	}
+	// Unarmed (negative tolerance): report only.
+	sb.Reset()
+	if err := runDiff(oldPath, newPath, -1, &sb); err != nil {
+		t.Fatalf("unarmed diff returned error: %v", err)
+	}
+}
+
+func TestDiffFailOnChangeIgnoresAddedRemoved(t *testing.T) {
+	// New or retired benchmarks must not fail the gate.
+	oldPath := writeTemp(t, "old.json", `{"bench": {"BenchmarkOld": {"ns/op": 5.0}}}`)
+	newPath := writeTemp(t, "new.json", `{"bench": {"BenchmarkNew": {"ns/op": 7.0}}}`)
+	var sb strings.Builder
+	if err := runDiff(oldPath, newPath, 10, &sb); err != nil {
+		t.Fatalf("added/removed metrics tripped the gate: %v\n%s", err, sb.String())
+	}
+}
+
+func TestDiffFailOnChangeSkippedOnConfigMismatch(t *testing.T) {
+	// Config-mismatched files are excluded from the gate: the deltas
+	// measure the config change, not a regression.
+	oldPath := writeTemp(t, "old.json", `{
+		"config": {"topology": "hub:4"},
+		"topo": {"Throughput": 100.0}
+	}`)
+	newPath := writeTemp(t, "new.json", `{
+		"config": {"topology": "hub:6"},
+		"topo": {"Throughput": 10.0}
+	}`)
+	var sb strings.Builder
+	if err := runDiff(oldPath, newPath, 5, &sb); err != nil {
+		t.Fatalf("gate fired across mismatched configs: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "gate skipped") {
+		t.Fatalf("skipped gate not reported:\n%s", sb.String())
+	}
+}
+
+// --- bench2json --------------------------------------------------------------
+
+func TestBench2JSONParsesAndAverages(t *testing.T) {
+	raw := `goos: linux
+goarch: amd64
+pkg: ibcbench
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkVoteFanout/vals-13-8         	       3	  30000000 ns/op	        12.00 blocks-per-vmin
+BenchmarkVoteFanout/vals-13-8         	       3	  32000000 ns/op	        12.00 blocks-per-vmin
+BenchmarkVoteFanout/vals-13-8         	       3	  34000000 ns/op	        12.00 blocks-per-vmin
+BenchmarkNetemSend-8                  	       3	       100 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	ibcbench	1.234s
+`
+	doc, err := parseBenchOutput(strings.NewReader(raw), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan, ok := doc["BenchmarkVoteFanout/vals-13"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", doc)
+	}
+	// On a single-proc run go test appends no suffix; a name ending in
+	// digits must survive unstripped.
+	doc1, err := parseBenchOutput(strings.NewReader("BenchmarkVoteFanout/vals-13 \t 3 \t 100 ns/op\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc1["BenchmarkVoteFanout/vals-13"]; !ok {
+		t.Fatalf("suffix-less name mangled: %v", doc1)
+	}
+	if got := fan["ns/op"]; got != 32000000 {
+		t.Fatalf("ns/op mean = %v, want 32000000 (average of 3 repeats)", got)
+	}
+	if got := fan["blocks-per-vmin"]; got != 12 {
+		t.Fatalf("custom metric = %v, want 12", got)
+	}
+	if got := doc["BenchmarkNetemSend"]["allocs/op"]; got != 0 {
+		t.Fatalf("allocs/op = %v, want 0", got)
+	}
+}
+
+func TestBench2JSONRoundTripsThroughDiff(t *testing.T) {
+	// The converter's output must be diffable: same shape both sides,
+	// gate trips on a regression beyond tolerance.
+	mk := func(name string, ns float64) string {
+		raw := writeTemp(t, name+".txt",
+			"BenchmarkVoteFanout/vals-13-8 \t 3 \t "+fmtFloat(ns)+" ns/op\n")
+		out := filepath.Join(t.TempDir(), name+".json")
+		if err := runBench2JSON(raw, out, os.Stdout); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	oldJSON, newJSON := mk("old", 100000), mk("new", 200000)
+	var sb strings.Builder
+	if err := runDiff(oldJSON, newJSON, 25, &sb); err == nil {
+		t.Fatalf("2x bench regression passed the 25%% gate:\n%s", sb.String())
+	}
+}
+
+func TestBench2JSONRejectsEmptyInput(t *testing.T) {
+	p := writeTemp(t, "empty.txt", "no benchmarks here\n")
+	if err := runBench2JSON(p, "", io.Discard); err == nil {
+		t.Fatal("empty bench output accepted")
 	}
 }

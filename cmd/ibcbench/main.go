@@ -13,8 +13,12 @@
 //	ibcbench -experiment forward -topology line:4  # forwarded vs sequential curves
 //	ibcbench -experiment topo -regions 3wan        # geo-distributed deployment
 //	ibcbench -experiment failover -regions 3wan    # standby takeover vs fault window
+//	ibcbench -experiment votescale -topology two   # validator-set scaling sweep
+//	ibcbench -experiment topo -validators 16       # 16-validator chains
 //	ibcbench -experiment topo -out results.json    # persist results as JSON
 //	ibcbench -diff old.json new.json               # compare two -out files
+//	ibcbench -diff old.json new.json -fail-on-change 10   # CI regression gate
+//	ibcbench -bench2json bench.txt -out BENCH.json # go-bench output -> JSON doc
 //
 // Sweeps fan (config, seed) executions out over a worker pool
 // (-workers, default GOMAXPROCS); results are identical to serial runs.
@@ -30,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ibcbench/internal/experiments"
@@ -46,7 +52,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ibcbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|forward|failover|all")
+		exp        = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|forward|failover|votescale|all")
 		seeds      = fs.Int("seeds", 3, "executions per configuration (paper: 20)")
 		windows    = fs.Int("windows", 0, "submission block windows (0 = paper default)")
 		transfers  = fs.Int("transfers", 5000, "transfers for fig12/fig13")
@@ -54,21 +60,45 @@ func run(args []string) error {
 		topology   = fs.String("topology", "hub:4", "topo/forward/failover experiment graph: two|line:n|hub:n|mesh:n")
 		rate       = fs.Int("rate", 20, "per-edge input rate (rps) for topo/failover; transfers per route for forward")
 		regions    = fs.String("regions", "", "geo region preset for topo/failover deployments: 3wan|hubspoke:n|uniform:k (\"\" = the paper's uniform WAN)")
+		validators = fs.String("validators", "", "validator-set sizes: votescale sweeps the comma list (default 4,8,12,16,24,32); other topology experiments use the first value (\"\" = the paper's 5)")
 		forwarding = fs.Bool("forwarding", false, "run topo multi-hop routes through the packet-forward middleware instead of sequential legs")
 		workers    = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
 		out        = fs.String("out", "", "write every experiment's result as JSON to this file (cross-PR regression tracking)")
 		diffOld    = fs.String("diff", "", "compare this -out result file against the positional argument and exit")
+		failPct    = fs.Float64("fail-on-change", -1, "with -diff: exit nonzero when any metric moves beyond this tolerance in percent (negative = report only; skipped when the files' config headers mismatch)")
+		benchTxt   = fs.String("bench2json", "", "convert `go test -bench` output in this file to a JSON metrics document (written to -out, default stdout) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *benchTxt != "" {
+		return runBench2JSON(*benchTxt, *out, os.Stdout)
+	}
 	if *diffOld != "" {
-		if fs.NArg() != 1 {
-			return fmt.Errorf("usage: ibcbench -diff old.json new.json")
+		if fs.NArg() < 1 {
+			return fmt.Errorf("usage: ibcbench -diff old.json new.json [-fail-on-change pct]")
 		}
-		return runDiff(*diffOld, fs.Arg(0), os.Stdout)
+		newPath := fs.Arg(0)
+		// Flag parsing stops at the positional new.json; pick up trailing
+		// flags (-fail-on-change after the file names) with a second pass.
+		if fs.NArg() > 1 {
+			if err := fs.Parse(fs.Args()[1:]); err != nil {
+				return err
+			}
+			if fs.NArg() != 0 {
+				return fmt.Errorf("usage: ibcbench -diff old.json new.json [-fail-on-change pct]")
+			}
+		}
+		return runDiff(*diffOld, newPath, *failPct, os.Stdout)
+	}
+	valSizes, err := parseValidatorList(*validators)
+	if err != nil {
+		return err
 	}
 	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers, Regions: *regions}
+	if len(valSizes) > 0 {
+		opt.Validators = valSizes[0]
+	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	report := map[string]any{}
 	record := func(key string, v any) {
@@ -189,6 +219,18 @@ func run(args []string) error {
 		res.Render(os.Stdout)
 		fmt.Println()
 	}
+	if want("votescale") {
+		// Validator-scaling: the shared vote-verification engine makes
+		// set size an affordable axis; blocks/s stays flat (virtual
+		// timing) while wall cost grows ~linearly instead of quadratically.
+		res, err := experiments.VoteScale(opt, *topology, *rate, valSizes)
+		if err != nil {
+			return err
+		}
+		record("votescale", res)
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
 	if want("ws") {
 		res := experiments.WebSocketLimit(*seed, 1000, 60)
 		record("ws", res)
@@ -207,7 +249,8 @@ func run(args []string) error {
 			"experiment": *exp, "seeds": *seeds, "windows": *windows,
 			"transfers": *transfers, "seed": *seed, "topology": *topology,
 			"rate": *rate, "regions": *regions, "forwarding": *forwarding,
-			"netem": netem.DefaultWAN(),
+			"validators": *validators,
+			"netem":      netem.DefaultWAN(),
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -220,6 +263,22 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
 	}
 	return nil
+}
+
+// parseValidatorList parses the -validators comma list ("" = nil).
+func parseValidatorList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("ibcbench: -validators %q: each entry must be a positive integer", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func pct(a, b int) float64 {

@@ -31,6 +31,10 @@ type Config struct {
 	// verification (correctness mode); performance experiments disable
 	// it — the proof-handling cost is modeled in virtual time either way.
 	FullProofs bool
+	// ReferenceVoteVerify disables the shared vote-verification engine
+	// (every validator re-verifies every gossiped vote — the O(V^2)
+	// reference path; results stay byte-identical).
+	ReferenceVoteVerify bool
 	// Consensus overrides; zero values take the paper defaults.
 	Consensus consensus.Config
 	// RPC overrides; zero value takes defaults.
@@ -82,6 +86,9 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 	}
 	if cfg.Validators > 0 {
 		ccfg.Validators = cfg.Validators
+	}
+	if cfg.ReferenceVoteVerify {
+		ccfg.ReferenceVoteVerify = true
 	}
 	engine := consensus.New(sched, network, ccfg, a, pool, stor)
 
@@ -193,6 +200,11 @@ func Link(a, b *Chain) *Pair {
 // on a the link uses channel-<ordA>/connection-<ordA>/07-tendermint-<ordA>,
 // and symmetrically on b.
 func LinkAt(a, b *Chain, ordA, ordB int) *Pair {
+	// Each side's light client tracks the counterparty; share that
+	// chain's vote-verification engine so header commits whose signatures
+	// were already admitted through its live vote path skip re-checks.
+	a.Keeper.RegisterVoteVerifier(b.ID, b.Engine.VoteCache())
+	b.Keeper.RegisterVoteVerifier(a.ID, a.Engine.VoteCache())
 	p := &Pair{
 		A: a, B: b,
 		Port:      transfer.PortID,
@@ -278,6 +290,9 @@ type TestbedConfig struct {
 	Validators  int
 	FullProofs  bool
 	MaxBlockGas uint64
+	// ReferenceVoteVerify selects the O(V^2) per-receiver vote
+	// verification path (see Config.ReferenceVoteVerify).
+	ReferenceVoteVerify bool
 }
 
 // DefaultTestbed mirrors §III-C: 200 ms RTT WAN, five validators each.
@@ -294,7 +309,10 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	rng := sim.NewRNG(cfg.Seed)
 	network := netem.New(sched, rng, cfg.Network)
 	mk := func(id string) *Chain {
-		ccfg := Config{ChainID: id, Validators: cfg.Validators, FullProofs: cfg.FullProofs}
+		ccfg := Config{
+			ChainID: id, Validators: cfg.Validators, FullProofs: cfg.FullProofs,
+			ReferenceVoteVerify: cfg.ReferenceVoteVerify,
+		}
 		ccfg.Consensus = consensusDefault(id, cfg)
 		return New(sched, network, ccfg)
 	}

@@ -30,6 +30,10 @@ type Options struct {
 	// Regions optionally places topology deployments on a geo region
 	// preset (see geo.ParseSpec; "" = the paper's uniform WAN).
 	Regions string
+	// Validators overrides every chain's validator-set size in topology
+	// deployments (0 = the paper's five); the votescale experiment sweeps
+	// this axis explicitly.
+	Validators int
 }
 
 func (o Options) seeds() int {

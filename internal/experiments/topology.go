@@ -58,7 +58,7 @@ func TopologySweepMode(opt Options, spec string, rate int, forwarded bool) (Topo
 	sc := topo.Scenario{
 		Name:     spec,
 		Topology: tp,
-		Deploy:   topo.DeployConfig{Geo: model},
+		Deploy:   topo.DeployConfig{Geo: model, Validators: opt.Validators},
 		Windows:  windows,
 	}
 	sc.EdgeRates = make(map[int]int, len(tp.Edges))

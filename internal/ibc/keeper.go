@@ -51,18 +51,33 @@ type PortModule interface {
 // modules.
 type Keeper struct {
 	ports map[string]PortModule
+	// voteVerifiers maps a counterparty chain ID to that chain's shared
+	// vote-verification engine: commit signatures its consensus already
+	// admitted are not re-verified when this chain's light client accepts
+	// a header (the simulator's process-wide equivalent of verify-once).
+	voteVerifiers map[string]types.VoteVerifier
 }
 
 // NewKeeper creates the IBC keeper and registers its message handler on
 // the app under RouteIBC.
 func NewKeeper(a *app.App) *Keeper {
-	k := &Keeper{ports: make(map[string]PortModule)}
+	k := &Keeper{
+		ports:         make(map[string]PortModule),
+		voteVerifiers: make(map[string]types.VoteVerifier),
+	}
 	a.RegisterRoute(RouteIBC, k.handle)
 	return k
 }
 
 // BindPort attaches a module to a port.
 func (k *Keeper) BindPort(port string, m PortModule) { k.ports[port] = m }
+
+// RegisterVoteVerifier wires a counterparty chain's vote-verification
+// engine into this keeper's light-client header checks. Unregistered
+// counterparties fall back to full per-signature verification.
+func (k *Keeper) RegisterVoteVerifier(chainID string, vv types.VoteVerifier) {
+	k.voteVerifiers[chainID] = vv
+}
 
 // --- stored-object helpers -------------------------------------------------
 
@@ -256,7 +271,10 @@ func (k *Keeper) updateClient(ctx *app.Context, m MsgUpdateClient) error {
 		}
 		vs := types.NewValidatorSet(vals)
 		blockID := types.BlockID{Hash: hdr.Hash()}
-		if err := vs.VerifyCommit(cs.ChainID, blockID, hdr.Height, m.Bundle.Commit); err != nil {
+		// Batched fast path: signatures the source chain's live vote path
+		// already admitted are not re-verified (nil verifier = full check).
+		if err := vs.VerifyCommitCached(cs.ChainID, blockID, hdr.Height,
+			m.Bundle.Commit, k.voteVerifiers[cs.ChainID]); err != nil {
 			return fmt.Errorf("ibc: header verification: %w", err)
 		}
 	}

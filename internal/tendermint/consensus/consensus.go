@@ -23,8 +23,14 @@ import (
 	"ibcbench/internal/tendermint/mempool"
 	"ibcbench/internal/tendermint/store"
 	"ibcbench/internal/tendermint/types"
+	"ibcbench/internal/tendermint/votesig"
 	"ibcbench/internal/valkey"
 )
+
+// voteCacheKeepHeights is the trailing window of committed heights whose
+// admitted votes stay cached, serving the light-client VerifyCommit fast
+// path for commits relayers submit a few blocks late.
+const voteCacheKeepHeights = 32
 
 // Config parameterizes one chain's consensus engine.
 type Config struct {
@@ -48,6 +54,14 @@ type Config struct {
 	ExecNanosPerGas int64
 	// ProposalBytesPerSecond models block gossip bandwidth.
 	ProposalBytesPerSecond int64
+
+	// ReferenceVoteVerify disables the shared vote-verification engine:
+	// every receiving validator re-verifies every gossiped vote (the
+	// O(V^2) pre-cache behaviour). Simulation results are byte-identical
+	// either way — verification is wall-clock work, not virtual time —
+	// so this path exists to pin that equivalence and to count the
+	// fan-out's signature checks.
+	ReferenceVoteVerify bool
 }
 
 // DefaultConfig mirrors the paper's deployment (§III-C, §III-D).
@@ -121,6 +135,12 @@ type Engine struct {
 	valset *types.ValidatorSet
 	nodes  []*node
 
+	// votes is the chain's shared vote-verification engine: every
+	// gossiped vote's signature is checked exactly once chain-wide.
+	votes *votesig.Cache
+	// signBuf is the pooled sign-bytes buffer for castVote.
+	signBuf []byte
+
 	// primary is the full node serving RPC; its commit defines block
 	// availability to clients.
 	primary int
@@ -153,6 +173,7 @@ func New(sched *sim.Scheduler, net *netem.Network, cfg Config, app abci.Applicat
 		app:   app,
 		pool:  pool,
 		stor:  stor,
+		votes: votesig.New(cfg.ChainID),
 	}
 	vals := make([]*types.Validator, cfg.Validators)
 	for i := 0; i < cfg.Validators; i++ {
@@ -180,6 +201,11 @@ func New(sched *sim.Scheduler, net *netem.Network, cfg Config, app abci.Applicat
 
 // ValidatorSet exposes the chain's validator set (for light clients).
 func (e *Engine) ValidatorSet() *types.ValidatorSet { return e.valset }
+
+// VoteCache exposes the chain's shared vote-verification engine. Light
+// clients tracking this chain pass it to VerifyCommitCached so commit
+// signatures admitted through the live vote path are not re-verified.
+func (e *Engine) VoteCache() *votesig.Cache { return e.votes }
 
 // PrimaryHost is the network host of the RPC-serving full node.
 func (e *Engine) PrimaryHost() netem.Host { return e.nodes[e.primary].host }
@@ -234,6 +260,7 @@ func (e *Engine) startHeight(h int64) {
 	if e.halted {
 		return
 	}
+	e.votes.PruneBelow(h - voteCacheKeepHeights)
 	for _, n := range e.nodes {
 		n.height = h
 		n.round = 0
@@ -368,7 +395,8 @@ func (e *Engine) castVote(n *node, vt types.SignedMsgType, h int64, r int32, blo
 		Timestamp:        e.sched.Now(),
 		ValidatorAddress: n.addr,
 	}
-	v.Signature = n.key.Sign(types.VoteSignBytes(e.cfg.ChainID, v))
+	e.signBuf = types.AppendVoteSignBytes(e.signBuf[:0], e.cfg.ChainID, v)
+	v.Signature = n.key.Sign(e.signBuf)
 	for _, dst := range e.nodes {
 		dst := dst
 		e.net.Send(n.host, dst.host, func() { e.onVote(dst, v) })
@@ -379,8 +407,21 @@ func (e *Engine) onVote(n *node, v *types.Vote) {
 	if n.down || n.height != v.Height {
 		return
 	}
+	// Resolve the claimed validator in the canonical set, then verify the
+	// signature through the shared engine: the first receiver performs
+	// the ed25519 check, every later receiver of the same vote hits the
+	// cache — O(V) checks per block instead of O(V^2). Forged, tampered
+	// and stranger votes are still rejected: only verified tuples enter
+	// the cache, and a hit requires byte-identical signatures.
 	val := e.valset.ByAddress(v.ValidatorAddress)
-	if val == nil || !val.PubKey.Verify(types.VoteSignBytes(e.cfg.ChainID, v), v.Signature) {
+	if val == nil {
+		return
+	}
+	if e.cfg.ReferenceVoteVerify {
+		if !e.votes.VerifyDirect(e.cfg.ChainID, v, val.PubKey) {
+			return
+		}
+	} else if !e.votes.VerifyVote(e.cfg.ChainID, v, val.PubKey) {
 		return
 	}
 	switch v.Type {

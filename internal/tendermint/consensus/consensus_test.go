@@ -12,6 +12,7 @@ import (
 	"ibcbench/internal/tendermint/mempool"
 	"ibcbench/internal/tendermint/store"
 	"ibcbench/internal/tendermint/types"
+	"ibcbench/internal/valkey"
 )
 
 // stubTx is a fixed-size transaction for consensus tests.
@@ -308,5 +309,165 @@ func TestDeterminism(t *testing.T) {
 	h2, hash2 := run()
 	if h1 != h2 || hash1 != hash2 {
 		t.Fatal("identical seeds produced different chains")
+	}
+}
+
+// --- shared vote-verification engine -----------------------------------------
+
+// TestVoteVerificationPinnedLinear pins the shared engine's signature
+// work to O(V) per block: each of the ~2V votes per round is fully
+// verified exactly once chain-wide, every other delivery hits the cache.
+func TestVoteVerificationPinnedLinear(t *testing.T) {
+	const vals = 7
+	h := newHarness(t, func(c *Config) { c.Validators = vals })
+	h.eng.Start()
+	if err := h.sched.RunUntil(60 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if h.store.Height() < 10 {
+		t.Fatalf("height = %d, chain stalled", h.store.Height())
+	}
+	st := h.eng.VoteCache().Stats()
+	rounds := h.eng.TotalRounds()
+	// At most one prevote + one precommit per validator per round.
+	if max := 2 * uint64(vals) * rounds; st.Verifications > max {
+		t.Fatalf("%d full verifications over %d rounds exceeds the O(V) bound %d",
+			st.Verifications, rounds, max)
+	}
+	if st.Verifications == 0 {
+		t.Fatal("no signatures verified")
+	}
+	// The other V-1 receivers of each vote must hit the cache.
+	if st.Hits < 3*st.Verifications {
+		t.Fatalf("hits = %d vs %d verifications; fan-out deliveries are not hitting the cache",
+			st.Hits, st.Verifications)
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("%d honest votes rejected", st.Rejected)
+	}
+}
+
+// TestReferencePathCountsQuadraticFanout runs the same seed through the
+// shared engine and the per-receiver reference path: the chains must be
+// byte-identical while the reference path performs ~V times the
+// signature checks.
+func TestReferencePathCountsQuadraticFanout(t *testing.T) {
+	const vals = 7
+	run := func(reference bool) (uint64, []types.Hash) {
+		h := newHarness(t, func(c *Config) {
+			c.Validators = vals
+			c.ReferenceVoteVerify = reference
+		})
+		h.eng.Start()
+		if err := h.sched.RunUntil(60 * time.Second); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		var hashes []types.Hash
+		for height := int64(1); height <= h.store.Height(); height++ {
+			cb, err := h.store.Block(height)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes = append(hashes, cb.Block.Header.Hash())
+		}
+		return h.eng.VoteCache().Stats().Verifications, hashes
+	}
+	sharedChecks, sharedChain := run(false)
+	refChecks, refChain := run(true)
+	if len(sharedChain) == 0 || len(sharedChain) != len(refChain) {
+		t.Fatalf("chain lengths diverge: shared=%d reference=%d", len(sharedChain), len(refChain))
+	}
+	for i := range sharedChain {
+		if sharedChain[i] != refChain[i] {
+			t.Fatalf("block %d differs between shared and reference verification", i+1)
+		}
+	}
+	// Every vote is delivered to all V nodes; the reference path verifies
+	// per delivery, the shared path once per vote.
+	if refChecks < 3*sharedChecks {
+		t.Fatalf("reference path: %d checks vs shared %d — fan-out not quadratic?",
+			refChecks, sharedChecks)
+	}
+}
+
+// TestCacheRejectsInjectedVotes injects forged, stranger and duplicate
+// votes directly into the gossip handler with the cache enabled.
+func TestCacheRejectsInjectedVotes(t *testing.T) {
+	h := newHarness(t, nil)
+	// Place every node at height 1, round 0 without running the network.
+	h.eng.startHeight(1)
+	receiver := h.eng.nodes[1]
+
+	// Forged: claims validator 0's address, signed by a different key.
+	forged := &types.Vote{
+		Type:             types.PrevoteType,
+		Height:           1,
+		Round:            0,
+		BlockID:          types.BlockID{Hash: types.Hash{9}},
+		ValidatorAddress: h.eng.nodes[0].addr,
+	}
+	forged.Signature = valkey.Derive("attacker", 0).Sign(types.VoteSignBytes("chain-a", forged))
+	h.eng.onVote(receiver, forged)
+	if len(receiver.prevotes[0]) != 0 {
+		t.Fatal("forged vote recorded")
+	}
+
+	// Stranger: a well-signed vote from a key outside the validator set.
+	stranger := valkey.Derive("chain-a", 99)
+	alien := &types.Vote{
+		Type:             types.PrevoteType,
+		Height:           1,
+		Round:            0,
+		ValidatorAddress: stranger.Pub().Address(),
+	}
+	alien.Signature = stranger.Sign(types.VoteSignBytes("chain-a", alien))
+	h.eng.onVote(receiver, alien)
+	if len(receiver.prevotes[0]) != 0 {
+		t.Fatal("stranger vote recorded")
+	}
+
+	// Valid vote from validator 2 (keys are derived deterministically).
+	val2 := valkey.Derive("chain-a", 2)
+	good := &types.Vote{
+		Type:             types.PrevoteType,
+		Height:           1,
+		Round:            0,
+		BlockID:          types.BlockID{Hash: types.Hash{9}},
+		ValidatorAddress: val2.Pub().Address(),
+	}
+	good.Signature = val2.Sign(types.VoteSignBytes("chain-a", good))
+	h.eng.onVote(receiver, good)
+	if len(receiver.prevotes[0]) != 1 {
+		t.Fatal("valid vote not recorded")
+	}
+
+	// Duplicate delivery: recorded once, power not double-counted.
+	h.eng.onVote(receiver, good)
+	if len(receiver.prevotes[0]) != 1 {
+		t.Fatal("duplicate vote double-recorded")
+	}
+	if p := h.eng.totalVotePower(receiver.prevotes[0]); p != 10 {
+		t.Fatalf("duplicate vote double-counted power: %d", p)
+	}
+
+	// Tampered: the cached tuple must not vouch for a flipped signature.
+	tampered := *good
+	tampered.Signature = append([]byte(nil), good.Signature...)
+	tampered.Signature[0] ^= 0xff
+	other := h.eng.nodes[3]
+	h.eng.onVote(other, &tampered)
+	if len(other.prevotes[0]) != 0 {
+		t.Fatal("tampered vote accepted via cache")
+	}
+
+	// The same valid vote delivered to another node hits the cache.
+	before := h.eng.VoteCache().Stats()
+	h.eng.onVote(other, good)
+	after := h.eng.VoteCache().Stats()
+	if len(other.prevotes[0]) != 1 {
+		t.Fatal("valid vote not recorded at second node")
+	}
+	if after.Hits != before.Hits+1 || after.Verifications != before.Verifications {
+		t.Fatalf("second delivery re-verified (before=%+v after=%+v)", before, after)
 	}
 }

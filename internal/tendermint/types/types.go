@@ -205,16 +205,34 @@ type Vote struct {
 
 // VoteSignBytes produces the canonical bytes a validator signs for a vote.
 func VoteSignBytes(chainID string, v *Vote) []byte {
-	buf := make([]byte, 0, 64+len(chainID))
-	buf = append(buf, byte(v.Type))
+	return AppendVoteSignBytes(make([]byte, 0, 64+len(chainID)), chainID, v)
+}
+
+// AppendVoteSignBytes appends the canonical vote sign bytes to dst and
+// returns the extended slice. Hot paths (the consensus engine signs and
+// the shared vote-verification cache checks every gossiped vote) pass a
+// pooled buffer so per-vote encoding allocates nothing in steady state.
+func AppendVoteSignBytes(dst []byte, chainID string, v *Vote) []byte {
+	dst = append(dst, byte(v.Type))
 	var n [8]byte
 	binary.BigEndian.PutUint64(n[:], uint64(v.Height))
-	buf = append(buf, n[:]...)
+	dst = append(dst, n[:]...)
 	binary.BigEndian.PutUint64(n[:], uint64(v.Round))
-	buf = append(buf, n[:]...)
-	buf = append(buf, v.BlockID.Hash[:]...)
-	buf = append(buf, chainID...)
-	return buf
+	dst = append(dst, n[:]...)
+	dst = append(dst, v.BlockID.Hash[:]...)
+	dst = append(dst, chainID...)
+	return dst
+}
+
+// VoteVerifier abstracts vote-signature verification so a chain-scoped
+// cache (internal/tendermint/votesig) can admit each gossiped vote's
+// ed25519 signature exactly once chain-wide. Implementations MUST only
+// report true for signatures that verify under pub; callers MUST resolve
+// pub from the claimed validator address in the chain's canonical set.
+type VoteVerifier interface {
+	// VerifyVote reports whether v.Signature is valid for v's sign bytes
+	// under pub on the given chain.
+	VerifyVote(chainID string, v *Vote, pub valkey.PubKey) bool
 }
 
 // Validator is one member of the validator set.
@@ -293,6 +311,15 @@ var (
 // than 2/3 of the validator set's voting power for the given block. This
 // is the check light clients perform when accepting counterparty headers.
 func (vs *ValidatorSet) VerifyCommit(chainID string, blockID BlockID, height int64, commit *Commit) error {
+	return vs.VerifyCommitCached(chainID, blockID, height, commit, nil)
+}
+
+// VerifyCommitCached is VerifyCommit with a batched fast path: commit
+// signatures already admitted through vv (the source chain's live vote
+// path) are not re-verified — a commit signature is byte-for-byte the
+// precommit vote the engine's shared cache already checked. A nil vv
+// verifies every signature directly.
+func (vs *ValidatorSet) VerifyCommitCached(chainID string, blockID BlockID, height int64, commit *Commit, vv VoteVerifier) error {
 	if commit == nil || commit.Height != height {
 		return ErrCommitHeightMismatch
 	}
@@ -300,6 +327,12 @@ func (vs *ValidatorSet) VerifyCommit(chainID string, blockID BlockID, height int
 		return ErrCommitWrongBlockID
 	}
 	var signed int64
+	vote := Vote{
+		Type:    PrecommitType,
+		Height:  commit.Height,
+		Round:   commit.Round,
+		BlockID: commit.BlockID,
+	}
 	seen := make(map[valkey.Address]bool, len(commit.Signatures))
 	for _, sig := range commit.Signatures {
 		if sig.Flag != BlockIDFlagCommit {
@@ -309,14 +342,15 @@ func (vs *ValidatorSet) VerifyCommit(chainID string, blockID BlockID, height int
 		if val == nil || seen[sig.ValidatorAddress] {
 			continue
 		}
-		vote := &Vote{
-			Type:             PrecommitType,
-			Height:           commit.Height,
-			Round:            commit.Round,
-			BlockID:          commit.BlockID,
-			ValidatorAddress: sig.ValidatorAddress,
+		vote.ValidatorAddress = sig.ValidatorAddress
+		vote.Signature = sig.Signature
+		ok := false
+		if vv != nil {
+			ok = vv.VerifyVote(chainID, &vote, val.PubKey)
+		} else {
+			ok = val.PubKey.Verify(VoteSignBytes(chainID, &vote), sig.Signature)
 		}
-		if !val.PubKey.Verify(VoteSignBytes(chainID, vote), sig.Signature) {
+		if !ok {
 			return fmt.Errorf("types: invalid signature from %s", sig.ValidatorAddress)
 		}
 		seen[sig.ValidatorAddress] = true

@@ -1,0 +1,142 @@
+// Package votesig is the per-chain shared vote-verification engine.
+//
+// In the gossip protocol every validator re-verified every vote it
+// received, making block production O(V^2) in ed25519 signature checks
+// (each of the ~2V votes per round is delivered to all V nodes). The
+// votes themselves are chain-global facts: a vote's sign bytes depend
+// only on (chainID, type, height, round, blockID) and its signature on
+// the validator's key, so one successful verification holds for every
+// receiver. The Cache records each *verified* (validator, height, round,
+// type, blockID) tuple together with the exact signature bytes that
+// passed; later deliveries of the same vote hit the cache and skip the
+// curve operation, pinning per-block verification work to O(V).
+//
+// Safety: the cache stores only tuples that passed a full ed25519 check,
+// and a hit additionally requires the candidate signature to be
+// byte-identical to the admitted one — a tampered or forged signature
+// over a cached tuple never short-circuits; it falls through to a full
+// verification (and fails). Callers must resolve the public key from the
+// claimed validator address in the chain's canonical validator set,
+// otherwise a cached tuple could vouch for a key it was never checked
+// against.
+//
+// The same engine backs the batched VerifyCommit fast path: a block's
+// commit signatures are byte-for-byte the precommit votes the live path
+// already admitted, so light-client header verification skips them too
+// (types.ValidatorSet.VerifyCommitCached).
+package votesig
+
+import (
+	"bytes"
+
+	"ibcbench/internal/tendermint/types"
+	"ibcbench/internal/valkey"
+)
+
+// key identifies one vote as a chain-global fact. Two honest votes never
+// share a key; a conflicting (equivocating) vote differs in BlockID and
+// therefore verifies — and caches — separately.
+type key struct {
+	Validator valkey.Address
+	Height    int64
+	Round     int32
+	Type      types.SignedMsgType
+	BlockID   types.Hash
+}
+
+// Stats reports the cache's verification counters.
+type Stats struct {
+	// Verifications counts full ed25519 checks performed (cache misses
+	// plus every check in reference mode).
+	Verifications uint64
+	// Hits counts verifications skipped because the identical vote was
+	// already admitted.
+	Hits uint64
+	// Rejected counts signatures that failed the full check.
+	Rejected uint64
+	// Size is the number of admitted tuples currently retained.
+	Size int
+}
+
+// Cache is one chain's shared vote-verification engine. It is not
+// goroutine-safe: like the consensus engine that owns it, it runs on the
+// simulation's single scheduler goroutine.
+type Cache struct {
+	chainID  string
+	admitted map[key][]byte // verified tuple -> admitted signature bytes
+	buf      []byte         // pooled sign-bytes buffer (AppendVoteSignBytes)
+	stats    Stats
+}
+
+// New creates the cache for one chain.
+func New(chainID string) *Cache {
+	return &Cache{chainID: chainID, admitted: make(map[key][]byte)}
+}
+
+func keyOf(v *types.Vote) key {
+	return key{
+		Validator: v.ValidatorAddress,
+		Height:    v.Height,
+		Round:     v.Round,
+		Type:      v.Type,
+		BlockID:   v.BlockID.Hash,
+	}
+}
+
+// VerifyVote implements types.VoteVerifier: it reports whether the vote's
+// signature is valid under pub, performing the ed25519 check at most once
+// chain-wide per distinct vote. Votes for a foreign chain ID never touch
+// the cache (they are verified directly) — a cache is bound to the chain
+// whose sign-bytes domain it admitted signatures under.
+func (c *Cache) VerifyVote(chainID string, v *types.Vote, pub valkey.PubKey) bool {
+	if chainID != c.chainID {
+		return c.VerifyDirect(chainID, v, pub)
+	}
+	k := keyOf(v)
+	if sig, ok := c.admitted[k]; ok && bytes.Equal(sig, v.Signature) {
+		c.stats.Hits++
+		return true
+	}
+	if !c.fullVerify(chainID, v, pub) {
+		return false
+	}
+	c.admitted[k] = append([]byte(nil), v.Signature...)
+	return true
+}
+
+// VerifyDirect performs the full signature check without consulting or
+// populating the cache — the O(V^2) reference path, kept so scenario
+// results can be pinned byte-identical against the shared engine while
+// the counters expose the verification-count difference.
+func (c *Cache) VerifyDirect(chainID string, v *types.Vote, pub valkey.PubKey) bool {
+	return c.fullVerify(chainID, v, pub)
+}
+
+func (c *Cache) fullVerify(chainID string, v *types.Vote, pub valkey.PubKey) bool {
+	c.buf = types.AppendVoteSignBytes(c.buf[:0], chainID, v)
+	c.stats.Verifications++
+	if !pub.Verify(c.buf, v.Signature) {
+		c.stats.Rejected++
+		return false
+	}
+	return true
+}
+
+// PruneBelow drops admitted tuples for heights below h. The engine prunes
+// a trailing window behind the committed height: live votes for old
+// heights no longer arrive, and a pruned commit signature merely falls
+// back to a full verification in the light-client path.
+func (c *Cache) PruneBelow(h int64) {
+	for k := range c.admitted {
+		if k.Height < h {
+			delete(c.admitted, k)
+		}
+	}
+}
+
+// Stats snapshots the verification counters.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.Size = len(c.admitted)
+	return s
+}

@@ -26,6 +26,10 @@ type DeployConfig struct {
 	Network    netem.Config
 	Validators int
 	FullProofs bool
+	// ReferenceVoteVerify selects every chain's O(V^2) per-receiver vote
+	// verification path instead of the shared vote-verification engine
+	// (results are byte-identical; the counters differ).
+	ReferenceVoteVerify bool
 	// RelayersPerEdge is the default relayer count for edges that don't
 	// override it in their EdgeSpec.
 	RelayersPerEdge int
@@ -253,9 +257,10 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 			vals = cfg.Validators
 		}
 		c := chain.New(sched, network, chain.Config{
-			ChainID:    t.ChainID(i),
-			Validators: vals,
-			FullProofs: cfg.FullProofs,
+			ChainID:             t.ChainID(i),
+			Validators:          vals,
+			FullProofs:          cfg.FullProofs,
+			ReferenceVoteVerify: cfg.ReferenceVoteVerify,
 		})
 		if d.Geo != nil {
 			if err := validRegion(cfg.Geo, d.regions[i], t.ChainID(i)); err != nil {

@@ -108,7 +108,13 @@ type Result struct {
 	Name     string
 	Seed     int64
 	Duration time.Duration
-	Edges    []EdgeReport
+	// Blocks is the total block count committed across the deployment's
+	// chains; BlocksPerSec normalizes by the virtual duration. Together
+	// with per-edge Latency they make validator-set size a measurable
+	// experiment axis (the votescale experiment sweeps it).
+	Blocks       int64
+	BlocksPerSec float64
+	Edges        []EdgeReport
 	// Total merges the per-edge completion counts.
 	Total map[metrics.Status]int
 	// Throughput is aggregate completed transfers per virtual second.
@@ -320,6 +326,12 @@ func (s Scenario) analyze(d *Deployment, seed int64, runs []*routeRun) *Result {
 		Seed:     seed,
 		Duration: now,
 	}
+	for _, c := range d.Chains {
+		res.Blocks += c.Store.Height()
+	}
+	if now > 0 {
+		res.BlocksPerSec = float64(res.Blocks) / now.Seconds()
+	}
 	var perEdge []map[metrics.Status]int
 	for _, l := range d.Links {
 		counts := l.Tracker.CompletionCounts()
@@ -440,7 +452,7 @@ func (d *Deployment) routeReport(rr *routeRun) RouteReport {
 // Render writes the result as an aligned per-edge table plus totals.
 func (r *Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "== scenario %s (seed %d) ==\n", r.Name, r.Seed)
-	fmt.Fprintf(w, "duration: %v\n", r.Duration)
+	fmt.Fprintf(w, "duration: %v  blocks: %d (%.2f blocks/s)\n", r.Duration, r.Blocks, r.BlocksPerSec)
 	fmt.Fprintf(w, "%-6s %-16s %-10s %-9s %-10s %-13s %-8s\n",
 		"edge", "link", "completed", "partial", "initiated", "notcommitted", "TFPS")
 	for _, e := range r.Edges {

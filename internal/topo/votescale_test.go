@@ -1,0 +1,70 @@
+package topo
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSharedVoteVerifyByteIdenticalResult runs one scenario seed through
+// the shared vote-verification engine and the per-receiver reference
+// path: signature verification is wall-clock work, not virtual time, so
+// the serialized topo.Result must be byte-identical.
+func TestSharedVoteVerifyByteIdenticalResult(t *testing.T) {
+	run := func(reference bool) *Result {
+		sc := Scenario{
+			Name:      "votescale-ident",
+			Topology:  TwoChain(),
+			Deploy:    DeployConfig{Validators: 7, ReferenceVoteVerify: reference},
+			EdgeRates: map[int]int{0: 2},
+			Windows:   3,
+		}
+		res, err := sc.Run(123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	shared := run(false)
+	reference := run(true)
+	sharedJSON, err := json.Marshal(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sharedJSON) != string(refJSON) {
+		t.Fatalf("same seed, different results:\nshared:    %s\nreference: %s", sharedJSON, refJSON)
+	}
+	if shared.Blocks == 0 || shared.BlocksPerSec <= 0 {
+		t.Fatalf("block production not recorded: blocks=%d blocks/s=%f", shared.Blocks, shared.BlocksPerSec)
+	}
+	if shared.Total[0] == 0 && len(shared.Edges) == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+// TestDeployValidatorsOverride pins the -validators axis: the deploy
+// config's set size reaches every chain's consensus engine.
+func TestDeployValidatorsOverride(t *testing.T) {
+	d, err := Deploy(TwoChain(), DeployConfig{Validators: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range d.Chains {
+		if got := c.Engine.ValidatorSet().Size(); got != 9 {
+			t.Fatalf("chain %d validator set size = %d, want 9", i, got)
+		}
+	}
+	// Per-chain spec overrides still win over the deploy default.
+	tp := TwoChain()
+	tp.Chains[1].Validators = 5
+	d, err = Deploy(tp, DeployConfig{Validators: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := d.Chains[0].Engine.ValidatorSet().Size(), d.Chains[1].Engine.ValidatorSet().Size(); a != 9 || b != 5 {
+		t.Fatalf("validator sizes = %d,%d, want 9,5", a, b)
+	}
+}
