@@ -21,6 +21,7 @@ import (
 	"ibcbench/internal/merkle"
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/netem"
+	"ibcbench/internal/obs"
 	"ibcbench/internal/sim"
 	"ibcbench/internal/tendermint/store"
 	"ibcbench/internal/topo"
@@ -314,6 +315,44 @@ func BenchmarkVoteFanout(b *testing.B) {
 		b.Run(fmt.Sprintf("vals-%d", vals), func(b *testing.B) { runChain(b, vals, false) })
 	}
 	b.Run("vals-13-reference", func(b *testing.B) { runChain(b, 13, true) })
+}
+
+// BenchmarkTracerOverhead measures the observability tax on a full topo
+// scenario: `disabled` is the production default (nil Obs — the tracer
+// hooks must compile down to nil checks), `enabled` runs the same
+// workload with span recording, metric sampling and flush-time packet
+// synthesis attached. The CI bench job tracks both; enabled should sit
+// within ~5% of disabled, disabled within noise of the pre-obs baseline.
+func BenchmarkTracerOverhead(b *testing.B) {
+	run := func(b *testing.B, instrument bool) {
+		for i := 0; i < b.N; i++ {
+			sc, err := experiments.BuildTopologyScenario(benchOpts, "hub:3", 5, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var o *obs.Obs
+			if instrument {
+				o = obs.New()
+				sc.Deploy.Obs = o
+			}
+			res, err := sc.Run(42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Total[metrics.StatusCompleted] == 0 {
+				b.Fatal("no transfers completed")
+			}
+			b.ReportMetric(res.Throughput, "TFPS")
+			if instrument {
+				if o.Tracer.Len() == 0 {
+					b.Fatal("instrumented run recorded no events")
+				}
+				b.ReportMetric(float64(o.Tracer.Len()), "events")
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
 }
 
 var _ = metrics.StatusCompleted

@@ -19,6 +19,9 @@
 //	ibcbench -diff old.json new.json               # compare two -out files
 //	ibcbench -diff old.json new.json -fail-on-change 10   # CI regression gate
 //	ibcbench -bench2json bench.txt -out BENCH.json # go-bench output -> JSON doc
+//	ibcbench -trace trace.json -topology hub:3     # Perfetto trace of one run
+//	ibcbench -trace-summary -topology hub:3        # top spans by total/self time
+//	ibcbench -validate-trace trace.json            # structural trace check
 //
 // Sweeps fan (config, seed) executions out over a worker pool
 // (-workers, default GOMAXPROCS); results are identical to serial runs.
@@ -67,12 +70,18 @@ func run(args []string) error {
 		diffOld    = fs.String("diff", "", "compare this -out result file against the positional argument and exit")
 		failPct    = fs.Float64("fail-on-change", -1, "with -diff: exit nonzero when any metric moves beyond this tolerance in percent (negative = report only; skipped when the files' config headers mismatch)")
 		benchTxt   = fs.String("bench2json", "", "convert `go test -bench` output in this file to a JSON metrics document (written to -out, default stdout) and exit")
+		tracePath  = fs.String("trace", "", "run one instrumented -topology scenario and write a Chrome trace-event file (Perfetto-loadable) here, then exit")
+		traceSum   = fs.Bool("trace-summary", false, "with or without -trace: run one instrumented scenario and print the top spans by total/self time per subsystem")
+		traceCheck = fs.String("validate-trace", "", "structurally validate a -trace output file (JSON shape, span timing, async begin/end balance) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchTxt != "" {
 		return runBench2JSON(*benchTxt, *out, os.Stdout)
+	}
+	if *traceCheck != "" {
+		return runValidateTrace(*traceCheck, os.Stdout)
 	}
 	if *diffOld != "" {
 		if fs.NArg() < 1 {
@@ -98,6 +107,9 @@ func run(args []string) error {
 	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers, Regions: *regions}
 	if len(valSizes) > 0 {
 		opt.Validators = valSizes[0]
+	}
+	if *tracePath != "" || *traceSum {
+		return runTrace(opt, *topology, *rate, *forwarding, *seed, *tracePath, *traceSum, os.Stdout)
 	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	report := map[string]any{}

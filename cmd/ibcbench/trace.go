@@ -1,0 +1,142 @@
+// Trace export and validation: -trace runs one instrumented scenario
+// and writes a Chrome trace-event file (load it at ui.perfetto.dev or
+// chrome://tracing), -trace-summary prints the top spans by total/self
+// time per subsystem, and -validate-trace structurally checks an
+// exported file (the CI smoke step runs it against a short hub run).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ibcbench/internal/experiments"
+	"ibcbench/internal/obs"
+)
+
+// runTrace executes one seed of the topo scenario with observability
+// attached, optionally writes the Chrome trace and/or prints the span
+// summary, and renders the run result like a plain topo run would.
+func runTrace(opt experiments.Options, topology string, rate int, forwarded bool,
+	seed int64, tracePath string, summary bool, w io.Writer) error {
+	sc, err := experiments.BuildTopologyScenario(opt, topology, rate, forwarded)
+	if err != nil {
+		return err
+	}
+	o := obs.New()
+	sc.Deploy.Obs = o
+	res, err := sc.Run(seed)
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", tracePath, err)
+		}
+		if err := o.Tracer.WriteChrome(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", tracePath, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", tracePath, err)
+		}
+		fmt.Fprintf(os.Stderr, "trace (%d events) written to %s\n", o.Tracer.Len(), tracePath)
+	}
+	if summary {
+		fmt.Fprintln(w)
+		obs.WriteSummary(w, o.Tracer.Summary(), 20)
+	}
+	return nil
+}
+
+// traceEvent mirrors the subset of the Chrome trace-event schema the
+// validator checks.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	Cat   string  `json:"cat"`
+	ID    string  `json:"id"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// runValidateTrace structurally validates an exported trace: the file
+// must parse as a trace-event document, complete spans need non-negative
+// timestamps and durations, and every async trace must open and close in
+// order on each (cat, id) pair.
+func runValidateTrace(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not a trace-event document: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no trace events", path)
+	}
+	type asyncKey struct{ cat, id string }
+	open := map[asyncKey]int{}
+	counts := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		counts[ev.Phase]++
+		switch ev.Phase {
+		case "X":
+			if ev.TS < 0 || ev.Dur < 0 {
+				return fmt.Errorf("%s: event %d (%s): negative ts/dur", path, i, ev.Name)
+			}
+		case "i":
+			if ev.TS < 0 {
+				return fmt.Errorf("%s: event %d (%s): negative ts", path, i, ev.Name)
+			}
+		case "b", "n", "e":
+			if ev.ID == "" {
+				return fmt.Errorf("%s: event %d (%s): async event without id", path, i, ev.Name)
+			}
+			k := asyncKey{ev.Cat, ev.ID}
+			switch ev.Phase {
+			case "b":
+				open[k]++
+			case "n":
+				if open[k] == 0 {
+					return fmt.Errorf("%s: event %d (%s): async instant outside open span %v", path, i, ev.Name, k)
+				}
+			case "e":
+				if open[k] == 0 {
+					return fmt.Errorf("%s: event %d (%s): async end without begin %v", path, i, ev.Name, k)
+				}
+				open[k]--
+			}
+		case "M":
+			// metadata: no timing constraints
+		default:
+			return fmt.Errorf("%s: event %d (%s): unknown phase %q", path, i, ev.Name, ev.Phase)
+		}
+	}
+	for k, n := range open {
+		if n != 0 {
+			return fmt.Errorf("%s: async trace %v left %d span(s) open", path, k, n)
+		}
+	}
+	phases := make([]string, 0, len(counts))
+	for ph := range counts {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	fmt.Fprintf(w, "%s: OK (%d events:", path, len(doc.TraceEvents))
+	for _, ph := range phases {
+		fmt.Fprintf(w, " %s=%d", ph, counts[ph])
+	}
+	fmt.Fprintln(w, ")")
+	return nil
+}

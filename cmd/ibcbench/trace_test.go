@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ibcbench/internal/experiments"
+)
+
+// TestTraceExportRoundTrip runs the CLI's trace path end to end: a short
+// instrumented hub run exports a Chrome trace that the structural
+// validator accepts, and the summary table names the expected
+// subsystems.
+func TestTraceExportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	opt := experiments.Options{Seeds: 1, Windows: 2}
+	if err := runTrace(opt, "hub:3", 3, false, 7, path, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	var check bytes.Buffer
+	if err := runValidateTrace(path, &check); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(check.String(), "OK") {
+		t.Fatalf("validator output %q", check.String())
+	}
+	for _, want := range []string{"chain", "relayer", "block", "scan"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary misses %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestValidateTraceRejectsBrokenDocs pins the validator's failure modes.
+func TestValidateTraceRejectsBrokenDocs(t *testing.T) {
+	cases := map[string]string{
+		"not-json":      `{"traceEvents": [`,
+		"empty":         `{"traceEvents": []}`,
+		"unknown-phase": `{"traceEvents": [{"name":"x","ph":"Q","ts":0}]}`,
+		"negative-dur":  `{"traceEvents": [{"name":"x","ph":"X","ts":1,"dur":-2}]}`,
+		"unbalanced":    `{"traceEvents": [{"name":"p","ph":"b","cat":"pkt","id":"0x1","ts":0}]}`,
+		"end-no-begin":  `{"traceEvents": [{"name":"p","ph":"e","cat":"pkt","id":"0x1","ts":0}]}`,
+		"orphan-async":  `{"traceEvents": [{"name":"p","ph":"n","cat":"pkt","id":"0x1","ts":0}]}`,
+	}
+	dir := t.TempDir()
+	for name, doc := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := runValidateTrace(path, &out); err == nil {
+			t.Fatalf("%s: validator accepted a broken document", name)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"ibcbench/internal/ibc/pfm"
 	"ibcbench/internal/ibc/transfer"
 	"ibcbench/internal/netem"
+	"ibcbench/internal/obs"
 	"ibcbench/internal/sim"
 	"ibcbench/internal/tendermint/consensus"
 	"ibcbench/internal/tendermint/mempool"
@@ -39,6 +40,10 @@ type Config struct {
 	Consensus consensus.Config
 	// RPC overrides; zero value takes defaults.
 	RPC rpc.Config
+	// Obs attaches the run's observability sinks (nil = disabled). The
+	// chain forwards it to consensus and samples mempool depth and
+	// scheduler queue length per commit.
+	Obs *obs.Obs
 }
 
 // Chain bundles every component of one blockchain.
@@ -90,6 +95,9 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 	if cfg.ReferenceVoteVerify {
 		ccfg.ReferenceVoteVerify = true
 	}
+	if cfg.Obs != nil {
+		ccfg.Obs = cfg.Obs
+	}
 	engine := consensus.New(sched, network, ccfg, a, pool, stor)
 
 	rcfg := cfg.RPC
@@ -120,6 +128,16 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 		}
 		c.Events.IndexTxs(cb.Block.Header.Height, cb.Block.Header.Time, infos)
 	})
+	if cfg.Obs != nil {
+		// Per-commit level samples: mempool depth after the block's txs
+		// were removed, and the scheduler's event-queue occupancy.
+		depth := cfg.Obs.Reg.Histogram("chain/" + cfg.ChainID + "/mempool_depth")
+		queue := cfg.Obs.Reg.Histogram("sim/event_queue_len")
+		engine.OnCommit(func(*store.CommittedBlock) {
+			depth.Observe(float64(pool.Size()))
+			queue.Observe(float64(sched.Len()))
+		})
+	}
 	c.RPC = c.newRPCNode(engine.PrimaryHost(), rcfg)
 	return c
 }

@@ -36,20 +36,23 @@ func TopologySweep(opt Options, spec string, rate int) (TopologyResult, error) {
 	return TopologySweepMode(opt, spec, rate, false)
 }
 
-// TopologySweepMode is TopologySweep with the route mode as an explicit
-// experiment axis: forwarded routes ride the packet-forward middleware
-// instead of sequential legs.
-func TopologySweepMode(opt Options, spec string, rate int, forwarded bool) (TopologyResult, error) {
+// BuildTopologyScenario assembles the sweep's scenario for one topology
+// spec and per-edge rate without running it: every edge sustains `rate`
+// requests/second for the configured windows, plus the demo multi-hop
+// route on graphs that have one. Exported so single-run drivers (the
+// CLI's trace exporter, the tracer-overhead benchmark) execute exactly
+// the workload the sweep measures.
+func BuildTopologyScenario(opt Options, spec string, rate int, forwarded bool) (topo.Scenario, error) {
 	tp, err := topo.ParseSpec(spec)
 	if err != nil {
-		return TopologyResult{}, err
+		return topo.Scenario{}, err
 	}
 	model, err := geo.ParseSpec(opt.Regions)
 	if err != nil {
-		return TopologyResult{}, err
+		return topo.Scenario{}, err
 	}
 	if rate <= 0 {
-		return TopologyResult{}, fmt.Errorf("experiments: topology sweep needs a per-edge rate >= 1 (got %d)", rate)
+		return topo.Scenario{}, fmt.Errorf("experiments: topology sweep needs a per-edge rate >= 1 (got %d)", rate)
 	}
 	windows := opt.Windows
 	if windows <= 0 {
@@ -68,6 +71,18 @@ func TopologySweepMode(opt Options, spec string, rate int, forwarded bool) (Topo
 	if route := demoRoute(tp); route != nil {
 		sc.Routes = []topo.Route{{Path: route, Transfers: rate, Forwarded: forwarded}}
 	}
+	return sc, nil
+}
+
+// TopologySweepMode is TopologySweep with the route mode as an explicit
+// experiment axis: forwarded routes ride the packet-forward middleware
+// instead of sequential legs.
+func TopologySweepMode(opt Options, spec string, rate int, forwarded bool) (TopologyResult, error) {
+	sc, err := BuildTopologyScenario(opt, spec, rate, forwarded)
+	if err != nil {
+		return TopologyResult{}, err
+	}
+	tp := sc.Topology
 	seeds := make([]int64, opt.seeds())
 	for i := range seeds {
 		seeds[i] = int64(100*rate + i)

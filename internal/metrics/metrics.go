@@ -164,6 +164,27 @@ func (t *Tracker) StepTime(key PacketKey, step Step) (time.Duration, bool) {
 // Tracked reports the number of packets with any recorded step.
 func (t *Tracker) Tracked() int { return len(t.packets) }
 
+// Keys returns every tracked packet key in deterministic order (source
+// chain, channel, then sequence) — trace synthesis iterates this to emit
+// byte-identical per-packet spans across same-seed runs.
+func (t *Tracker) Keys() []PacketKey {
+	out := make([]PacketKey, 0, len(t.packets))
+	for key := range t.packets {
+		out = append(out, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.SrcChain != b.SrcChain {
+			return a.SrcChain < b.SrcChain
+		}
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		return a.Sequence < b.Sequence
+	})
+	return out
+}
+
 // StatusOf classifies one packet.
 func (t *Tracker) StatusOf(key PacketKey) Status {
 	rec, ok := t.packets[key]
@@ -335,9 +356,9 @@ func Summarize(samples []float64) Dist {
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
 	d.Min, d.Max = s[0], s[len(s)-1]
-	d.Median = quantile(s, 0.5)
-	d.Q1 = quantile(s, 0.25)
-	d.Q3 = quantile(s, 0.75)
+	d.Median = Quantile(s, 0.5)
+	d.Q1 = Quantile(s, 0.25)
+	d.Q3 = Quantile(s, 0.75)
 	var sum float64
 	for _, v := range s {
 		sum += v
@@ -353,10 +374,22 @@ func Summarize(samples []float64) Dist {
 	return d
 }
 
-// quantile interpolates the q-th quantile of sorted samples.
-func quantile(sorted []float64, q float64) float64 {
+// Quantile interpolates the q-th quantile of ascending-sorted samples
+// (linear interpolation between closest ranks). Edge cases are total:
+// an empty series yields 0, a single sample is every quantile of
+// itself, and q is clamped to [0, 1] — out-of-range requests previously
+// indexed outside the slice.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if len(sorted) == 1 {
 		return sorted[0]
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(nil) = %v, want 0", got)
+	}
+	if got := Quantile([]float64{}, 0.99); got != 0 {
+		t.Fatalf("Quantile(empty) = %v, want 0", got)
+	}
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 1, 2, math.NaN()} {
+		if got := Quantile([]float64{3.5}, q); got != 3.5 {
+			t.Fatalf("Quantile(n=1, q=%v) = %v, want 3.5", q, got)
+		}
+	}
+	// Out-of-range q clamps to the extremes instead of panicking.
+	s := []float64{1, 2, 3, 4}
+	if got := Quantile(s, -0.5); got != 1 {
+		t.Fatalf("Quantile(q=-0.5) = %v, want min", got)
+	}
+	if got := Quantile(s, 1.5); got != 4 {
+		t.Fatalf("Quantile(q=1.5) = %v, want max", got)
+	}
+	if got := Quantile(s, 0.5); got != 2.5 {
+		t.Fatalf("Quantile(q=0.5) = %v, want 2.5", got)
+	}
+}
+
+func TestSummarizeSmallSeries(t *testing.T) {
+	// n=0 and n=1 must produce total, non-panicking summaries.
+	d0 := Summarize(nil)
+	if d0.N != 0 || d0.Median != 0 {
+		t.Fatalf("Summarize(nil) = %+v", d0)
+	}
+	d1 := Summarize([]float64{7})
+	if d1.N != 1 || d1.Min != 7 || d1.Max != 7 || d1.Median != 7 || d1.Q1 != 7 || d1.Q3 != 7 {
+		t.Fatalf("Summarize(n=1) = %+v", d1)
+	}
+	if d1.Mean != 7 || d1.Std != 0 {
+		t.Fatalf("Summarize(n=1) moments = %+v", d1)
+	}
+}
+
+// TestQuantileProperties is the quick-based property test: for random
+// finite sample sets and quantile requests, the interpolation must stay
+// within [min, max], be monotone in q, and reproduce exact order
+// statistics at the rank points.
+func TestQuantileProperties(t *testing.T) {
+	prop := func(raw []float64, qa, qb uint16) bool {
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Bound magnitudes so sums can't overflow and interpolation
+			// rounding can't drift past the extremes by an ulp.
+			samples = append(samples, math.Mod(v, 1e9))
+		}
+		sort.Float64s(samples)
+		q1 := float64(qa) / math.MaxUint16
+		q2 := float64(qb) / math.MaxUint16
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(samples, q1), Quantile(samples, q2)
+		if len(samples) == 0 {
+			return v1 == 0 && v2 == 0
+		}
+		lo, hi := samples[0], samples[len(samples)-1]
+		if v1 < lo || v1 > hi || v2 < lo || v2 > hi {
+			return false
+		}
+		if v1 > v2 { // monotone in q
+			return false
+		}
+		// Exact order statistics at the extremes.
+		return Quantile(samples, 0) == lo && Quantile(samples, 1) == hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSummarizeProperties pins the five-number ordering on random data.
+func TestSummarizeProperties(t *testing.T) {
+	prop := func(raw []float64) bool {
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Bound magnitudes so sums can't overflow and interpolation
+			// rounding can't drift past the extremes by an ulp.
+			samples = append(samples, math.Mod(v, 1e9))
+		}
+		d := Summarize(samples)
+		if d.N != len(samples) {
+			return false
+		}
+		if d.N == 0 {
+			return d == Dist{}
+		}
+		return d.Min <= d.Q1 && d.Q1 <= d.Median && d.Median <= d.Q3 && d.Q3 <= d.Max &&
+			d.Mean >= d.Min && d.Mean <= d.Max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Chrome trace-event export: the JSON Object Format ({"traceEvents":
+// [...]}) understood by Perfetto and chrome://tracing. The writer is
+// hand-rolled so the byte stream is fully deterministic — fixed field
+// order, fixed float formatting — and a same-seed rerun produces an
+// identical file.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteChrome writes every recorded event as Chrome trace-event JSON.
+// Tracks become threads of a single process (pid 1) named after their
+// registered names; virtual timestamps map to microseconds with
+// nanosecond precision. Complete/instant events carry category "sim",
+// async flows category "pkt" (the viewer scopes async IDs per
+// category).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+	sep()
+	bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"ibcbench"}}`)
+	if t != nil {
+		for id, name := range t.tracks {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				id+1, quoteJSON(name))
+		}
+		t.Events(func(ev Event) {
+			sep()
+			writeChromeEvent(bw, t, ev)
+		})
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func writeChromeEvent(bw *bufio.Writer, t *Tracer, ev Event) {
+	bw.WriteString(`{"ph":"`)
+	bw.WriteByte(ev.Phase)
+	bw.WriteString(`","pid":1,"tid":`)
+	bw.WriteString(strconv.Itoa(int(ev.Track) + 1))
+	bw.WriteString(`,"ts":`)
+	writeMicros(bw, ev.TS)
+	if ev.Phase == PhaseComplete {
+		bw.WriteString(`,"dur":`)
+		writeMicros(bw, ev.Dur)
+	}
+	switch ev.Phase {
+	case PhaseAsyncBegin, PhaseAsyncInstant, PhaseAsyncEnd:
+		bw.WriteString(`,"cat":"pkt","id":"0x`)
+		bw.WriteString(strconv.FormatUint(ev.ID, 16))
+		bw.WriteString(`"`)
+	default:
+		bw.WriteString(`,"cat":"sim"`)
+	}
+	if ev.Phase == PhaseInstant {
+		bw.WriteString(`,"s":"t"`) // thread-scoped instant
+	}
+	bw.WriteString(`,"name":`)
+	bw.WriteString(quoteJSON(t.NameString(ev.Name)))
+	if ev.HasArg {
+		bw.WriteString(`,"args":{"v":`)
+		bw.WriteString(strconv.FormatUint(ev.Arg, 10))
+		bw.WriteString(`}`)
+	}
+	bw.WriteString(`}`)
+}
+
+// writeMicros renders a virtual duration as microseconds with fixed
+// three-decimal (nanosecond) precision.
+func writeMicros(bw *bufio.Writer, d time.Duration) {
+	ns := d.Nanoseconds()
+	neg := ns < 0
+	if neg {
+		ns = -ns
+		bw.WriteByte('-')
+	}
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	bw.WriteByte('.')
+	frac := ns % 1000
+	bw.WriteByte(byte('0' + frac/100))
+	bw.WriteByte(byte('0' + frac/10%10))
+	bw.WriteByte(byte('0' + frac%10))
+}
+
+// quoteJSON escapes a name for embedding as a JSON string. Names are
+// ASCII identifiers in practice; the escaper still covers quotes,
+// backslashes and control bytes for safety.
+func quoteJSON(s string) string {
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			out = append(out, '\\', c)
+		case c < 0x20:
+			out = append(out, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(append(out, '"'))
+}

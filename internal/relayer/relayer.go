@@ -28,6 +28,7 @@ import (
 	"ibcbench/internal/ibc"
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/netem"
+	"ibcbench/internal/obs"
 	"ibcbench/internal/sim"
 	"ibcbench/internal/simconf"
 	"ibcbench/internal/tendermint/rpc"
@@ -55,6 +56,10 @@ type Config struct {
 	ClearIntervalBlocks int64
 	// Tracker receives per-packet step events (may be nil).
 	Tracker *metrics.Tracker
+	// Obs attaches the run's observability sinks (nil = disabled): spans
+	// for the scan -> build -> submit -> clear pipeline plus a backlog
+	// histogram and retry counters.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns the calibrated Hermes model.
@@ -80,6 +85,9 @@ type Stats struct {
 	FramesLost        uint64
 	TxsSubmitted      uint64
 	TxsFailed         uint64
+	// Retries counts submission re-attempts (sequence-mismatch recovery
+	// plus network backoff), before a batch is failed or released.
+	Retries uint64
 }
 
 type pktID struct {
@@ -156,6 +164,17 @@ type Relayer struct {
 
 	stats   Stats
 	stopped bool
+
+	// tr + interned IDs for pipeline spans; backlog samples outbox depth
+	// at each flush. All nil-safe when observability is disabled.
+	tr         *obs.Tracer
+	otrack     obs.TrackID
+	nScan      obs.NameID
+	nBuildRecv obs.NameID
+	nBuildAck  obs.NameID
+	nSubmit    obs.NameID
+	nClear     obs.NameID
+	backlog    *obs.Histogram
 }
 
 // New wires a relayer to a linked pair. Each relayer gets its own full
@@ -181,6 +200,16 @@ func New(sched *sim.Scheduler, rng *sim.RNG, cfg Config, pair *chain.Pair) *Rela
 		seenAck:     make(map[pktID]bool),
 		pendingRecv: make(map[pktID]ibc.Packet),
 	}
+	if cfg.Obs != nil {
+		r.tr = cfg.Obs.Tracer
+		r.otrack = r.tr.Track("relayer/" + cfg.Name)
+		r.nScan = r.tr.Name("scan")
+		r.nBuildRecv = r.tr.Name("build-recv")
+		r.nBuildAck = r.tr.Name("build-ack")
+		r.nSubmit = r.tr.Name("submit")
+		r.nClear = r.tr.Name("clear-pass")
+		r.backlog = cfg.Obs.Reg.Histogram("relayer/" + cfg.Name + "/backlog")
+	}
 	acctA := cfg.Name + "-on-" + pair.A.ID
 	acctB := cfg.Name + "-on-" + pair.B.ID
 	pair.A.App.CreateAccount(acctA, app.Coin{Denom: "stake", Amount: 1 << 50})
@@ -196,6 +225,9 @@ func New(sched *sim.Scheduler, rng *sim.RNG, cfg Config, pair *chain.Pair) *Rela
 
 // Host reports the relayer's network address (for workload submission).
 func (r *Relayer) Host() netem.Host { return r.host }
+
+// Name reports the relayer's configured instance name.
+func (r *Relayer) Name() string { return r.cfg.Name }
 
 // Stats returns a copy of the error/work counters.
 func (r *Relayer) Stats() Stats { return r.stats }
@@ -304,6 +336,10 @@ func (r *Relayer) processBlock(src, dst *endpoint, be *eventindex.BlockEvents) {
 	parse := r.cfg.BatchOverhead + time.Duration(be.MsgCount)*r.cfg.ParseCostPerMsg
 	r.cpu.Submit(parse, func() {
 		now := r.sched.Now()
+		if r.tr != nil {
+			// The scan span covers the charged parse service time.
+			r.tr.CompleteArg(r.otrack, r.nScan, now-parse, now, uint64(be.MsgCount))
+		}
 		// Record extraction + confirmation for every packet seen.
 		for _, te := range recvTxs {
 			for _, p := range te.SendPackets(src.channel) {
@@ -410,6 +446,9 @@ func (r *Relayer) buildRecvBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 	build := time.Duration(len(fresh)) * r.cfg.BuildCostPerMsg
 	r.cpu.Submit(build, func() {
 		done := r.sched.Now()
+		if r.tr != nil {
+			r.tr.CompleteArg(r.otrack, r.nBuildRecv, done-build, done, uint64(len(fresh)))
+		}
 		proofHeight := te.Info.Height + 1
 		for _, p := range fresh {
 			r.track(r.keyOf(src, p), metrics.StepRecvBuild, done)
@@ -454,6 +493,9 @@ func (r *Relayer) buildAckBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 	build := time.Duration(len(fresh)) * r.cfg.BuildCostPerMsg
 	r.cpu.Submit(build, func() {
 		done := r.sched.Now()
+		if r.tr != nil {
+			r.tr.CompleteArg(r.otrack, r.nBuildAck, done-build, done, uint64(len(fresh)))
+		}
 		proofHeight := te.Info.Height + 1
 		for _, w := range fresh {
 			p := w.Packet
@@ -559,6 +601,7 @@ func (r *Relayer) flushNext(dst *endpoint) {
 		return
 	}
 	src := r.counterpartOf(dst)
+	r.backlog.Observe(float64(len(dst.outbox)))
 
 	// Only messages whose proof height is available on the counterparty
 	// can be submitted; the rest wait for the next block.
@@ -659,11 +702,18 @@ func (r *Relayer) submitTx(dst *endpoint, msgs []app.Msg, batch []outMsg, meta t
 	}
 	tx := app.NewTx(dst.account, dst.seq, uint64(r.rng.Int63n(1<<62)), msgs)
 	r.stats.TxsSubmitted++
+	var subStart time.Duration
+	if r.tr != nil {
+		subStart = r.sched.Now()
+	}
 	dst.rpc.BroadcastTxSync(r.host, tx, func(err error) {
 		switch {
 		case err == nil:
 			dst.seq++
 			now := r.sched.Now()
+			if r.tr != nil {
+				r.tr.CompleteArg(r.otrack, r.nSubmit, subStart, now, uint64(len(batch)))
+			}
 			for _, m := range batch {
 				r.track(r.keyOfMsg(dst, m), m.step, now)
 			}
@@ -674,6 +724,7 @@ func (r *Relayer) submitTx(dst *endpoint, msgs []app.Msg, batch []outMsg, meta t
 			r.stats.SeqMismatchErrors++
 			dst.seqInit = false
 			if attempt < 5 {
+				r.stats.Retries++
 				r.sched.After(r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, meta, attempt+1) })
 			} else {
 				r.stats.TxsFailed++
@@ -685,6 +736,7 @@ func (r *Relayer) submitTx(dst *endpoint, msgs []app.Msg, batch []outMsg, meta t
 			// Mempool full, RPC timeout or a partitioned path: back off
 			// and retry, then give the batch up to a later clearing pass.
 			if attempt < 5 {
+				r.stats.Retries++
 				r.sched.After(5*r.cfg.ConfirmPoll, func() { r.submitTx(dst, msgs, batch, meta, attempt+1) })
 			} else {
 				r.stats.TxsFailed++
@@ -853,6 +905,11 @@ func (r *Relayer) scheduleClear(src, dst *endpoint) {
 				r.processBlock(src, dst, be)
 				r.tryFlush(dst)
 			})
+		}
+		if r.tr != nil {
+			// One clear-pass instant per pass, tagged with the number of
+			// re-scanned heights.
+			r.tr.InstantArg(r.otrack, r.nClear, r.sched.Now(), uint64(len(seen)))
 		}
 	})
 }

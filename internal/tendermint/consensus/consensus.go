@@ -18,6 +18,7 @@ import (
 
 	"ibcbench/internal/abci"
 	"ibcbench/internal/netem"
+	"ibcbench/internal/obs"
 	"ibcbench/internal/sim"
 	"ibcbench/internal/simconf"
 	"ibcbench/internal/tendermint/mempool"
@@ -62,6 +63,11 @@ type Config struct {
 	// so this path exists to pin that equivalence and to count the
 	// fan-out's signature checks.
 	ReferenceVoteVerify bool
+
+	// Obs attaches the run's observability sinks; nil (the default)
+	// disables instrumentation. Only the per-block commit path records
+	// spans — the per-vote hot path stays untouched.
+	Obs *obs.Obs
 }
 
 // DefaultConfig mirrors the paper's deployment (§III-C, §III-D).
@@ -154,6 +160,12 @@ type Engine struct {
 	emptyBlocks uint64
 	totalRounds uint64
 
+	// tr + interned IDs for block/exec spans (nil tracer = disabled).
+	tr        *obs.Tracer
+	obsTrack  obs.TrackID
+	nameBlock obs.NameID
+	nameExec  obs.NameID
+
 	onCommit []func(*store.CommittedBlock)
 
 	started bool
@@ -174,6 +186,12 @@ func New(sched *sim.Scheduler, net *netem.Network, cfg Config, app abci.Applicat
 		pool:  pool,
 		stor:  stor,
 		votes: votesig.New(cfg.ChainID),
+	}
+	if cfg.Obs != nil {
+		e.tr = cfg.Obs.Tracer
+		e.obsTrack = e.tr.Track("chain/" + cfg.ChainID)
+		e.nameBlock = e.tr.Name("block")
+		e.nameExec = e.tr.Name("exec")
 	}
 	vals := make([]*types.Validator, cfg.Validators)
 	for i := 0; i < cfg.Validators; i++ {
@@ -600,6 +618,13 @@ func (e *Engine) commitCanonical(block *types.Block, n *node, r int32, id types.
 			panic(err)
 		}
 		e.pool.Update(block.Data)
+		if e.tr != nil {
+			// One "block" span per height (proposal time -> availability)
+			// nesting an "exec" child for the gas-proportional execution.
+			now := e.sched.Now()
+			e.tr.CompleteArg(e.obsTrack, e.nameBlock, block.Header.Time, now, uint64(block.Header.Height))
+			e.tr.CompleteArg(e.obsTrack, e.nameExec, now-execTime, now, gasUsed)
+		}
 		for _, fn := range e.onCommit {
 			fn(cb)
 		}

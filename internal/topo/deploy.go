@@ -13,6 +13,7 @@ import (
 	"ibcbench/internal/ibc/transfer"
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/netem"
+	"ibcbench/internal/obs"
 	"ibcbench/internal/relayer"
 	"ibcbench/internal/sim"
 	"ibcbench/internal/simconf"
@@ -49,6 +50,11 @@ type DeployConfig struct {
 	// intervals: missed health probes for this long activate the standby
 	// (0 = 2 blocks).
 	FailoverDetectBlocks int
+	// Obs attaches observability (span tracer + metrics registry) to the
+	// deployment; nil (the default) disables all instrumentation. Must be
+	// per-deployment — sweeps run seeds concurrently — so experiment
+	// drivers leave it nil and only single-run trace exports set it.
+	Obs *obs.Obs
 }
 
 // Link is one deployed edge: the seeded channel pair, its relayers, its
@@ -162,6 +168,8 @@ type Deployment struct {
 	Links    []*Link
 	// Geo is the host→region assignment (nil without a region model).
 	Geo *geo.Assignment
+	// Obs is the deployment's observability bundle (nil = disabled).
+	Obs *obs.Obs
 
 	// regions holds each chain's resolved region (empty without geo).
 	regions []geo.Region
@@ -232,7 +240,8 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 	network := netem.New(sched, rng, cfg.Network)
-	d := &Deployment{Topology: t, Sched: sched, Net: network, RNG: rng}
+	d := &Deployment{Topology: t, Sched: sched, Net: network, RNG: rng, Obs: cfg.Obs}
+	cfg.Obs.Bind(sched.Now)
 	if cfg.Geo != nil {
 		asg, err := geo.NewAssignment(cfg.Geo)
 		if err != nil {
@@ -261,6 +270,7 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 			Validators:          vals,
 			FullProofs:          cfg.FullProofs,
 			ReferenceVoteVerify: cfg.ReferenceVoteVerify,
+			Obs:                 cfg.Obs,
 		})
 		if d.Geo != nil {
 			if err := validRegion(cfg.Geo, d.regions[i], t.ChainID(i)); err != nil {
@@ -295,6 +305,7 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 		newRelayer := func(j int, name string) *relayer.Relayer {
 			rcfg := relayer.DefaultConfig(name)
 			rcfg.Tracker = l.Tracker
+			rcfg.Obs = cfg.Obs
 			rcfg.ClearIntervalBlocks = cfg.ClearIntervalBlocks
 			if cfg.MaxMsgsPerTx > 0 {
 				rcfg.MaxMsgsPerTx = cfg.MaxMsgsPerTx

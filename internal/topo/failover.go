@@ -49,8 +49,9 @@ type Failover struct {
 	down      bool
 	downSince time.Duration
 
-	takeovers int
-	downtime  metrics.Series
+	takeovers  int
+	takeoverAt []time.Duration
+	downtime   metrics.Series
 }
 
 // newFailover wires a supervisor for the link's primary (relayer 0) and
@@ -90,6 +91,7 @@ func (f *Failover) probe() {
 	if !f.active {
 		f.active = true
 		f.takeovers++
+		f.takeoverAt = append(f.takeoverAt, now)
 		// Takeover: subscribe the standby; its first frames arrive with
 		// a height gap covering everything it missed, so the clearing
 		// pass rebuilds the backlog from the shared event index.
@@ -109,6 +111,10 @@ func (f *Failover) pong() {
 
 // Active reports whether the standby has taken over.
 func (f *Failover) Active() bool { return f.active }
+
+// TakeoverTimes returns the virtual times of each standby activation —
+// trace export marks them as instants on the supervised edge's track.
+func (f *Failover) TakeoverTimes() []time.Duration { return f.takeoverAt }
 
 // Report snapshots the failover metrics, closing an outage still open
 // at the end of the run.

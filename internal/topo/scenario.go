@@ -11,6 +11,7 @@ import (
 
 	"ibcbench/internal/chaos"
 	"ibcbench/internal/metrics"
+	"ibcbench/internal/obs"
 	"ibcbench/internal/relayer"
 	"ibcbench/internal/sim"
 	"ibcbench/internal/simconf"
@@ -125,6 +126,10 @@ type Result struct {
 	Routes []RouteReport
 	// Faults is the injected-fault log, in application order.
 	Faults []chaos.Applied
+	// Metrics is the observability registry snapshot (nil unless the
+	// scenario was deployed with DeployConfig.Obs); omitted from JSON so
+	// uninstrumented results stay byte-identical to earlier versions.
+	Metrics *obs.Snapshot `json:",omitempty"`
 }
 
 // routeRun tracks one in-flight multi-hop route.
@@ -188,6 +193,9 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	res := s.analyze(d, seed, runs)
 	if inj != nil {
 		res.Faults = inj.Log().Applied
+	}
+	if d.Obs != nil {
+		foldObs(d, res, runs)
 	}
 	return res, nil
 }
