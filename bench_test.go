@@ -205,10 +205,13 @@ func BenchmarkEventDecode(b *testing.B) {
 
 // BenchmarkRelayerHubScan runs a full hub scenario per iteration; with
 // the shared index its host-side scan cost is O(1) in relayer count, so
-// doubling relayers must not double the event-decode work.
+// doubling relayers must not double the event-decode work. allocs/op is
+// reported so CI tracks the batch-build slice recycling (packet and ack
+// buffers return to per-relayer free lists after submission).
 func BenchmarkRelayerHubScan(b *testing.B) {
 	for _, perEdge := range []int{1, 2} {
 		b.Run(fmt.Sprintf("relayers-per-edge-%d", perEdge), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s := topo.Scenario{
 					Name:      "bench-hub",
@@ -356,3 +359,32 @@ func BenchmarkTracerOverhead(b *testing.B) {
 }
 
 var _ = metrics.StatusCompleted
+
+// BenchmarkMeshSerialVsParallel runs one full-mesh scenario per
+// iteration in both runner modes and reports wall time plus speedup.
+// The conservative partitioned runner is byte-identical to serial (the
+// experiment errors out otherwise), so the only degree of freedom is
+// wall clock: on a multi-core host speedup approaches
+// min(chains, workers, cores); on a single core it pins near 1.0 and
+// CI tracks it for regressions in synchronization overhead.
+func BenchmarkMeshSerialVsParallel(b *testing.B) {
+	for _, chains := range []int{4, 8} {
+		b.Run(fmt.Sprintf("chains-%d", chains), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.MeshScale(experiments.Options{
+					Seeds: 1, Windows: 2, Validators: 5, Rates: []int{3},
+				}, []int{chains}, chains)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				if !row.FingerprintEqual {
+					b.Fatal("parallel run diverged from serial")
+				}
+				b.ReportMetric(row.SerialWallSec*1e3, "serial-ms")
+				b.ReportMetric(row.ParallelWallSec*1e3, "parallel-ms")
+				b.ReportMetric(row.Speedup, "speedup")
+			}
+		})
+	}
+}

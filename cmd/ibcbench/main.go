@@ -15,6 +15,8 @@
 //	ibcbench -experiment failover -regions 3wan    # standby takeover vs fault window
 //	ibcbench -experiment votescale -topology two   # validator-set scaling sweep
 //	ibcbench -experiment topo -validators 16       # 16-validator chains
+//	ibcbench -experiment topo -parallel 4          # partitioned intra-run execution
+//	ibcbench -experiment meshscale -parallel 8     # serial-vs-parallel speedup grid
 //	ibcbench -experiment topo -out results.json    # persist results as JSON
 //	ibcbench -diff old.json new.json               # compare two -out files
 //	ibcbench -diff old.json new.json -fail-on-change 10   # CI regression gate
@@ -55,7 +57,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ibcbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|forward|failover|votescale|all")
+		exp        = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|forward|failover|votescale|meshscale|all")
 		seeds      = fs.Int("seeds", 3, "executions per configuration (paper: 20)")
 		windows    = fs.Int("windows", 0, "submission block windows (0 = paper default)")
 		transfers  = fs.Int("transfers", 5000, "transfers for fig12/fig13")
@@ -66,6 +68,7 @@ func run(args []string) error {
 		validators = fs.String("validators", "", "validator-set sizes: votescale sweeps the comma list (default 4,8,12,16,24,32); other topology experiments use the first value (\"\" = the paper's 5)")
 		forwarding = fs.Bool("forwarding", false, "run topo multi-hop routes through the packet-forward middleware instead of sequential legs")
 		workers    = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+		parallel   = fs.Int("parallel", 0, "intra-run partitioned workers: split each simulation's chains over N OS workers with byte-identical results (0/1 = serial scheduler); also the worker count of -experiment meshscale")
 		out        = fs.String("out", "", "write every experiment's result as JSON to this file (cross-PR regression tracking)")
 		diffOld    = fs.String("diff", "", "compare this -out result file against the positional argument and exit")
 		failPct    = fs.Float64("fail-on-change", -1, "with -diff: exit nonzero when any metric moves beyond this tolerance in percent (negative = report only; skipped when the files' config headers mismatch)")
@@ -104,7 +107,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers, Regions: *regions}
+	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers, Regions: *regions, Parallel: *parallel}
 	if len(valSizes) > 0 {
 		opt.Validators = valSizes[0]
 	}
@@ -243,6 +246,26 @@ func run(args []string) error {
 		res.Render(os.Stdout)
 		fmt.Println()
 	}
+	if want("meshscale") {
+		// Serial-vs-parallel scaling: each cell runs the same full-mesh
+		// scenario on both runners, checks result-fingerprint equality
+		// and reports the wall-clock speedup curve.
+		chains := experiments.DefaultMeshScaleChains
+		if strings.HasPrefix(*topology, "mesh:") {
+			n, err := strconv.Atoi(strings.TrimPrefix(*topology, "mesh:"))
+			if err != nil || n < 2 {
+				return fmt.Errorf("ibcbench: -experiment meshscale needs -topology mesh:n with n >= 2 (got %q)", *topology)
+			}
+			chains = []int{n}
+		}
+		res, err := experiments.MeshScale(opt, chains, *parallel)
+		if err != nil {
+			return err
+		}
+		record("meshscale", res)
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
 	if want("ws") {
 		res := experiments.WebSocketLimit(*seed, 1000, 60)
 		record("ws", res)
@@ -261,8 +284,8 @@ func run(args []string) error {
 			"experiment": *exp, "seeds": *seeds, "windows": *windows,
 			"transfers": *transfers, "seed": *seed, "topology": *topology,
 			"rate": *rate, "regions": *regions, "forwarding": *forwarding,
-			"validators": *validators,
-			"netem":      netem.DefaultWAN(),
+			"validators": *validators, "parallel": *parallel,
+			"netem": netem.DefaultWAN(),
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -36,6 +36,10 @@ type Config struct {
 	// (every validator re-verifies every gossiped vote — the O(V^2)
 	// reference path; results stay byte-identical).
 	ReferenceVoteVerify bool
+	// ReferenceQuorumTally disables the counted per-round quorum tallies
+	// (every received vote re-walks a power map — the reference path;
+	// results stay byte-identical).
+	ReferenceQuorumTally bool
 	// Consensus overrides; zero values take the paper defaults.
 	Consensus consensus.Config
 	// RPC overrides; zero value takes defaults.
@@ -95,6 +99,9 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 	if cfg.ReferenceVoteVerify {
 		ccfg.ReferenceVoteVerify = true
 	}
+	if cfg.ReferenceQuorumTally {
+		ccfg.ReferenceQuorumTally = true
+	}
 	if cfg.Obs != nil {
 		ccfg.Obs = cfg.Obs
 	}
@@ -129,13 +136,11 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 		c.Events.IndexTxs(cb.Block.Header.Height, cb.Block.Header.Time, infos)
 	})
 	if cfg.Obs != nil {
-		// Per-commit level samples: mempool depth after the block's txs
-		// were removed, and the scheduler's event-queue occupancy.
+		// Per-commit level sample: mempool depth after the block's txs
+		// were removed.
 		depth := cfg.Obs.Reg.Histogram("chain/" + cfg.ChainID + "/mempool_depth")
-		queue := cfg.Obs.Reg.Histogram("sim/event_queue_len")
 		engine.OnCommit(func(*store.CommittedBlock) {
 			depth.Observe(float64(pool.Size()))
-			queue.Observe(float64(sched.Len()))
 		})
 	}
 	c.RPC = c.newRPCNode(engine.PrimaryHost(), rcfg)
@@ -146,6 +151,14 @@ func New(sched *sim.Scheduler, network *netem.Network, cfg Config) *Chain {
 func (c *Chain) newRPCNode(host netem.Host, cfg rpc.Config) *rpc.Server {
 	srv := rpc.New(c.sched, c.network, host, cfg, c.Store, c.Pool,
 		app.TxQueryCost, app.EventFrameBytes, c.App.AccountSequence, app.MsgCount, c.Events.At)
+	srv.SetSettledQuery(func(p rpc.SettledProbe) bool {
+		ctx := &app.Context{ChainID: c.ID, State: c.App.State(), Bank: c.App.Bank(), App: c.App}
+		if p.Ack {
+			// Ack/timeout settle by clearing the source commitment.
+			return !c.Keeper.HasCommitment(ctx, p.Port, p.Channel, p.Sequence)
+		}
+		return c.Keeper.HasReceipt(ctx, p.Port, p.Channel, p.Sequence)
+	})
 	c.Engine.OnCommit(srv.PublishBlock)
 	return srv
 }
@@ -221,8 +234,10 @@ func LinkAt(a, b *Chain, ordA, ordB int) *Pair {
 	// Each side's light client tracks the counterparty; share that
 	// chain's vote-verification engine so header commits whose signatures
 	// were already admitted through its live vote path skip re-checks.
-	a.Keeper.RegisterVoteVerifier(b.ID, b.Engine.VoteCache())
-	b.Keeper.RegisterVoteVerifier(a.ID, a.Engine.VoteCache())
+	// The read-only view keeps the light-client path off the owner's
+	// counters and buffers, so it can run on another partition.
+	a.Keeper.RegisterVoteVerifier(b.ID, b.Engine.VoteCache().ReadOnly())
+	b.Keeper.RegisterVoteVerifier(a.ID, a.Engine.VoteCache().ReadOnly())
 	p := &Pair{
 		A: a, B: b,
 		Port:      transfer.PortID,

@@ -34,6 +34,10 @@ type Options struct {
 	// deployments (0 = the paper's five); the votescale experiment sweeps
 	// this axis explicitly.
 	Validators int
+	// Parallel partitions each run's chains over this many intra-run
+	// workers (0/1 = the serial scheduler). Results are byte-identical
+	// either way; see topo.DeployConfig.ParallelWorkers.
+	Parallel int
 }
 
 func (o Options) seeds() int {

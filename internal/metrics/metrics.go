@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -111,7 +112,13 @@ type packetRecord struct {
 
 // Tracker is the Cross-chain Event Processor: it aggregates events from
 // both blockchains and the relayer into per-packet lifecycles.
+//
+// Writers lock: one link's tracker receives records from actors on both
+// of its chains' partitions. Readers (the analysis pass, the scenario
+// driver's route polling) run with every partition quiesced and need no
+// lock.
 type Tracker struct {
+	mu      sync.Mutex
 	packets map[PacketKey]*packetRecord
 
 	// requested counts transfers requested from the workload, including
@@ -126,22 +133,33 @@ func NewTracker() *Tracker {
 
 // AddRequested registers transfers submitted by the workload before they
 // reach the chain.
-func (t *Tracker) AddRequested(n int) { t.requested += n }
+func (t *Tracker) AddRequested(n int) {
+	t.mu.Lock()
+	t.requested += n
+	t.mu.Unlock()
+}
 
 // Requested reports the number of workload-requested transfers.
 func (t *Tracker) Requested() int { return t.requested }
 
-// Record marks a step reached for a packet at a virtual time. The first
-// recording wins (a redundant relayer's duplicate completion does not
-// move the time).
+// Record marks a step reached for a packet at a virtual time. The
+// earliest recorded time wins — in virtual-time order that is exactly
+// the old first-write-wins rule (a redundant relayer's later duplicate
+// completion never moves the time), stated in a form independent of the
+// order concurrent partitions happen to call in.
 func (t *Tracker) Record(key PacketKey, step Step, at time.Duration) {
+	i := int(step) - 1
+	if i < 0 || i >= NumSteps {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	rec, ok := t.packets[key]
 	if !ok {
 		rec = &packetRecord{}
 		t.packets[key] = rec
 	}
-	i := int(step) - 1
-	if i < 0 || i >= NumSteps || rec.set[i] {
+	if rec.set[i] && rec.at[i] <= at {
 		return
 	}
 	rec.set[i] = true

@@ -16,6 +16,8 @@ package netem
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ibcbench/internal/sim"
@@ -95,31 +97,99 @@ type linkState struct {
 	partitioned int
 }
 
+// Partitioner routes deliveries between partitioned schedulers; the
+// parallel runner (sim.Parallel) implements it. Slot 0 is the global
+// partition, which executes only at quiesced window barriers.
+type Partitioner interface {
+	// PartitionOf resolves a host name to its partition slot (0 = global).
+	PartitionOf(host string) int
+	// SchedulerOf returns the scheduler behind a partition slot.
+	SchedulerOf(slot int) *sim.Scheduler
+	// Post delivers fn to slot dst at virtual time at, created at ctime
+	// on slot src.
+	Post(src, dst int, at, ctime time.Duration, fn func())
+}
+
 // Network delivers messages between hosts with emulated latency.
 type Network struct {
 	sched *sim.Scheduler
-	rng   *sim.RNG
 	cfg   Config
 
+	// netSeed derives every host's private latency/drop RNG stream, so a
+	// host's draw sequence depends only on its own send order — the
+	// property that lets partitioned runs consume streams identically to
+	// the serial scheduler.
+	netSeed int64
+	// rngMu guards the stream map only; each stream itself is drawn from
+	// exclusively by its host's owning partition.
+	rngMu    sync.RWMutex
+	hostRNGs map[Host]*sim.RNG
+
+	// linkMu guards links: Send and Latency only read (link mutation is
+	// confined to deploy time and quiesced chaos barriers).
+	linkMu sync.RWMutex
 	// links holds per-directed-pair overrides (profiles, overlays,
 	// partitions). The hot path consults it with a single lookup, skipped
 	// entirely while the map is empty.
 	links map[linkKey]*linkState
 
-	sent    uint64
-	dropped uint64
+	// parts is nil in serial runs; when set, deliveries route to the
+	// destination host's partition scheduler or its barrier mailbox.
+	parts Partitioner
+
+	sent    atomic.Uint64
+	dropped atomic.Uint64
 }
 
 type linkKey struct{ from, to Host }
 
 // New returns a network using the given clock, randomness and config.
+// One draw from rng seeds the per-host delivery streams.
 func New(s *sim.Scheduler, rng *sim.RNG, cfg Config) *Network {
 	return &Network{
-		sched: s,
-		rng:   rng,
-		cfg:   cfg,
-		links: make(map[linkKey]*linkState),
+		sched:    s,
+		netSeed:  rng.Int63(),
+		hostRNGs: make(map[Host]*sim.RNG),
+		cfg:      cfg,
+		links:    make(map[linkKey]*linkState),
 	}
+}
+
+// SetPartitioner routes subsequent deliveries through partitioned
+// schedulers. Call before any Send.
+func (n *Network) SetPartitioner(p Partitioner) { n.parts = p }
+
+// SchedulerFor returns the scheduler owning a host's events: the shared
+// scheduler in serial runs, the host's partition scheduler when
+// partitioned. Components use it to run host-local work (client
+// timeouts, retries) on the clock that owns the host.
+func (n *Network) SchedulerFor(h Host) *sim.Scheduler {
+	if n.parts == nil {
+		return n.sched
+	}
+	return n.parts.SchedulerOf(n.parts.PartitionOf(string(h)))
+}
+
+// hostRNG returns the sender's private stream, derived from the network
+// seed and the host name so creation order cannot perturb it.
+func (n *Network) hostRNG(h Host) *sim.RNG {
+	n.rngMu.RLock()
+	r := n.hostRNGs[h]
+	n.rngMu.RUnlock()
+	if r != nil {
+		return r
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	if r = n.hostRNGs[h]; r == nil {
+		seed := n.netSeed
+		for _, b := range []byte(h) {
+			seed = seed*1099511628211 + int64(b)
+		}
+		r = sim.NewRNG(seed)
+		n.hostRNGs[h] = r
+	}
+	return r
 }
 
 func (n *Network) state(from, to Host) *linkState {
@@ -142,6 +212,8 @@ func (n *Network) dropState(from, to Host, st *linkState) {
 
 // SetLinkProfile overrides the directed path from one host to another.
 func (n *Network) SetLinkProfile(from, to Host, p Profile) {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
 	st := n.state(from, to)
 	st.hasProfile = true
 	st.latency = p.OneWay
@@ -165,6 +237,8 @@ func (n *Network) SetLinkLatency(from, to Host, d time.Duration) {
 // fault overlay (0 clears it; the drop component is untouched, so
 // spikes and bursts on one pair compose).
 func (n *Network) SetLinkExtraLatency(from, to Host, extra time.Duration) {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
 	if extra == 0 {
 		if st, ok := n.links[linkKey{from, to}]; ok {
 			st.extraLatency = 0
@@ -178,6 +252,8 @@ func (n *Network) SetLinkExtraLatency(from, to Host, extra time.Duration) {
 // SetLinkExtraDrop sets the drop component of a directed pair's fault
 // overlay (0 clears it; the latency component is untouched).
 func (n *Network) SetLinkExtraDrop(from, to Host, extra float64) {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
 	if extra == 0 {
 		if st, ok := n.links[linkKey{from, to}]; ok {
 			st.extraDrop = 0
@@ -192,12 +268,16 @@ func (n *Network) SetLinkExtraDrop(from, to Host, extra float64) {
 // Partitions are counted: overlapping faults hitting the same pair
 // compose, and the pair heals only when every partition has healed.
 func (n *Network) Partition(a, b Host) {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
 	n.state(a, b).partitioned++
 	n.state(b, a).partitioned++
 }
 
 // Heal removes one partition between two hosts (no-op beyond balance).
 func (n *Network) Heal(a, b Host) {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
 	for _, k := range [2]linkKey{{a, b}, {b, a}} {
 		if st, ok := n.links[k]; ok && st.partitioned > 0 {
 			st.partitioned--
@@ -208,19 +288,23 @@ func (n *Network) Heal(a, b Host) {
 
 // Partitioned reports whether the directed pair is currently severed.
 func (n *Network) Partitioned(from, to Host) bool {
+	n.linkMu.RLock()
+	defer n.linkMu.RUnlock()
 	st, ok := n.links[linkKey{from, to}]
 	return ok && st.partitioned > 0
 }
 
 // Sent reports the number of messages handed to the network.
-func (n *Network) Sent() uint64 { return n.sent }
+func (n *Network) Sent() uint64 { return n.sent.Load() }
 
 // Dropped reports messages lost to DropRate, overlays or partitions.
-func (n *Network) Dropped() uint64 { return n.dropped }
+func (n *Network) Dropped() uint64 { return n.dropped.Load() }
 
 // Latency reports the base one-way latency between two hosts, including
 // any active overlay's extra latency.
 func (n *Network) Latency(from, to Host) time.Duration {
+	n.linkMu.RLock()
+	defer n.linkMu.RUnlock()
 	if st, ok := n.links[linkKey{from, to}]; ok {
 		if st.hasProfile {
 			return st.latency + st.extraLatency
@@ -238,20 +322,27 @@ func (n *Network) Latency(from, to Host) time.Duration {
 
 // Send delivers fn on the destination host after the emulated latency.
 // Messages may be dropped by partitions or the configured drop rate.
+//
+// Latency and drop draws consume the sender host's private stream, so
+// they depend only on that host's own send order. Send must run on the
+// partition owning `from` (or at a quiesced barrier, when every clock
+// agrees) — which every component satisfies by construction, since
+// actors only emit from their own host.
 func (n *Network) Send(from, to Host, fn func()) {
-	n.sent++
+	n.sent.Add(1)
 	base := n.cfg.OneWayLatency
 	jitter := n.cfg.JitterRelStd
 	drop := n.cfg.DropRate
 	if from == to {
 		base = n.cfg.LoopbackLatency
 	}
-	// One lookup resolves profile, overlay and partition together; runs
-	// with no overrides never hash the pair at all.
+	// One lookup resolves profile, overlay and partition together.
+	n.linkMu.RLock()
 	if len(n.links) > 0 {
 		if st, ok := n.links[linkKey{from, to}]; ok {
 			if st.partitioned > 0 {
-				n.dropped++
+				n.linkMu.RUnlock()
+				n.dropped.Add(1)
 				return
 			}
 			if st.hasProfile {
@@ -261,12 +352,56 @@ func (n *Network) Send(from, to Host, fn func()) {
 			drop += st.extraDrop
 		}
 	}
-	if drop > 0 && n.rng.Float64() < drop {
-		n.dropped++
+	n.linkMu.RUnlock()
+	rng := n.hostRNG(from)
+	if drop > 0 && rng.Float64() < drop {
+		n.dropped.Add(1)
 		return
 	}
-	d := time.Duration(n.rng.Jitter(float64(base), jitter))
-	n.sched.After(d, fn)
+	d := time.Duration(rng.Jitter(float64(base), jitter))
+	if n.parts == nil {
+		n.sched.After(d, fn)
+		return
+	}
+	sp := n.parts.PartitionOf(string(from))
+	dp := n.parts.PartitionOf(string(to))
+	if sp == dp {
+		// Same partition (or both global): an ordinary scheduler event.
+		n.parts.SchedulerOf(dp).After(d, fn)
+		return
+	}
+	now := n.parts.SchedulerOf(sp).Now()
+	n.parts.Post(sp, dp, now+d, now, fn)
+}
+
+// MinCrossPartitionLatency reports a lower bound on the jittered
+// delivery latency of every cross-partition send: the minimum over the
+// network default and all cross-partition link profiles of
+// base·(1−4·jitter) — sim.RNG.Jitter truncates at ±4σ, and chaos
+// overlays only ever add latency. A non-positive bound means the
+// deployment has no usable lookahead (parallel runs must fall back to
+// serial). partOf resolves a host to its partition slot.
+func (n *Network) MinCrossPartitionLatency(partOf func(string) int) time.Duration {
+	eff := func(base time.Duration, jitter float64) time.Duration {
+		if jitter <= 0 {
+			return base
+		}
+		return time.Duration(float64(base) * (1 - 4*jitter))
+	}
+	// Pairs without an override use the config default; include it
+	// unconditionally since future hosts may appear on default links.
+	min := eff(n.cfg.OneWayLatency, n.cfg.JitterRelStd)
+	n.linkMu.RLock()
+	defer n.linkMu.RUnlock()
+	for k, st := range n.links {
+		if !st.hasProfile || partOf(string(k.from)) == partOf(string(k.to)) {
+			continue
+		}
+		if e := eff(st.latency, st.jitter); e < min {
+			min = e
+		}
+	}
+	return min
 }
 
 // RTT reports the emulated round-trip time between two hosts.
@@ -276,6 +411,8 @@ func (n *Network) RTT(a, b Host) time.Duration {
 
 // String summarizes the network configuration.
 func (n *Network) String() string {
+	n.linkMu.RLock()
+	defer n.linkMu.RUnlock()
 	return fmt.Sprintf("netem(one-way=%v loopback=%v jitter=%.2f drop=%.3f overrides=%d)",
 		n.cfg.OneWayLatency, n.cfg.LoopbackLatency, n.cfg.JitterRelStd, n.cfg.DropRate, len(n.links))
 }

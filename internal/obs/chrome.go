@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -19,6 +20,12 @@ import (
 // nanosecond precision. Complete/instant events carry category "sim",
 // async flows category "pkt" (the viewer scopes async IDs per
 // category).
+//
+// Events are emitted in a canonical total order — (TS, phase, track,
+// name, id, arg, dur) — rather than recording order, so two runs that
+// record the same multiset of events produce byte-identical documents
+// even when the recording interleaving differs (parallel vs serial
+// execution of the same deployment).
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
@@ -37,13 +44,67 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
 				id+1, quoteJSON(name))
 		}
-		t.Events(func(ev Event) {
+		for _, ev := range t.canonicalEvents() {
 			sep()
 			writeChromeEvent(bw, t, ev)
-		})
+		}
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()
+}
+
+// canonicalEvents collects every recorded event sorted by the canonical
+// total key. The key covers every Event field, so the order depends
+// only on the multiset of events, never on recording order.
+func (t *Tracer) canonicalEvents() []Event {
+	evs := make([]Event, 0, t.Len())
+	t.Events(func(ev Event) { evs = append(evs, ev) })
+	sort.Slice(evs, func(i, j int) bool { return eventLess(evs[i], evs[j]) })
+	return evs
+}
+
+// phaseRank fixes an arbitrary but stable ordering between phases that
+// share a timestamp: begins sort before the activity they bracket, ends
+// after.
+func phaseRank(p byte) int {
+	switch p {
+	case PhaseAsyncBegin:
+		return 0
+	case PhaseComplete:
+		return 1
+	case PhaseInstant:
+		return 2
+	case PhaseAsyncInstant:
+		return 3
+	case PhaseAsyncEnd:
+		return 4
+	}
+	return 5
+}
+
+func eventLess(a, b Event) bool {
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	if ra, rb := phaseRank(a.Phase), phaseRank(b.Phase); ra != rb {
+		return ra < rb
+	}
+	if a.Track != b.Track {
+		return a.Track < b.Track
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.Arg != b.Arg {
+		return a.Arg < b.Arg
+	}
+	if a.Dur != b.Dur {
+		return a.Dur < b.Dur
+	}
+	return a.HasArg && !b.HasArg
 }
 
 func writeChromeEvent(bw *bufio.Writer, t *Tracer, ev Event) {

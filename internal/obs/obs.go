@@ -17,7 +17,10 @@
 // (summary.go).
 package obs
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // chunkSize is the event-buffer chunk granularity. Recording is
 // allocation-free while the current chunk has room; crossing a chunk
@@ -59,6 +62,13 @@ type Event struct {
 type Tracer struct {
 	clock func() time.Duration
 
+	// mu guards interning and the event buffer. Under parallel
+	// simulation several partition workers record into one tracer;
+	// serial runs pay one uncontended lock per event. Export-side
+	// readers (Events, Len) run only while the simulation is quiesced
+	// but take the lock anyway for -race cleanliness.
+	mu sync.Mutex
+
 	names    []string
 	nameIDs  map[string]NameID
 	tracks   []string
@@ -95,6 +105,8 @@ func (t *Tracer) Track(name string) TrackID {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if id, ok := t.trackIDs[name]; ok {
 		return id
 	}
@@ -110,6 +122,8 @@ func (t *Tracer) Name(s string) NameID {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if id, ok := t.nameIDs[s]; ok {
 		return id
 	}
@@ -121,7 +135,12 @@ func (t *Tracer) Name(s string) NameID {
 
 // TrackName resolves a track ID back to its registered name.
 func (t *Tracer) TrackName(id TrackID) string {
-	if t == nil || int(id) >= len(t.tracks) {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.tracks) {
 		return ""
 	}
 	return t.tracks[id]
@@ -129,7 +148,12 @@ func (t *Tracer) TrackName(id TrackID) string {
 
 // NameString resolves a name ID back to its registered string.
 func (t *Tracer) NameString(id NameID) string {
-	if t == nil || int(id) >= len(t.names) {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.names) {
 		return ""
 	}
 	return t.names[id]
@@ -137,6 +161,8 @@ func (t *Tracer) NameString(id NameID) string {
 
 // record appends one event, sealing the current chunk when full.
 func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.cur) == chunkSize {
 		t.full = append(t.full, t.cur)
 		t.cur = make([]Event, 0, chunkSize)
@@ -244,20 +270,28 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.full)*chunkSize + len(t.cur)
 }
 
-// Events visits every recorded event in recording order.
+// Events visits every recorded event in recording order. The chunk
+// list is snapshotted under the lock and walked outside it, so the
+// callback may safely call back into the tracer (NameString etc.).
 func (t *Tracer) Events(fn func(Event)) {
 	if t == nil {
 		return
 	}
-	for _, chunk := range t.full {
+	t.mu.Lock()
+	full := t.full
+	cur := t.cur
+	t.mu.Unlock()
+	for _, chunk := range full {
 		for _, ev := range chunk {
 			fn(ev)
 		}
 	}
-	for _, ev := range t.cur {
+	for _, ev := range cur {
 		fn(ev)
 	}
 }

@@ -52,7 +52,10 @@ func (t *Tracer) Summary() []SummaryRow {
 			if spans[i].start != spans[j].start {
 				return spans[i].start < spans[j].start
 			}
-			return spans[i].end > spans[j].end // parent before equal-start child
+			if spans[i].end != spans[j].end {
+				return spans[i].end > spans[j].end // parent before equal-start child
+			}
+			return spans[i].name < spans[j].name // interleaving-independent tie
 		})
 		var stack []*spanRec
 		for _, sp := range spans {

@@ -162,6 +162,15 @@ type Relayer struct {
 	pullQueue   []func(func())
 	pullRunning bool
 
+	// Batch-build freelists: the fresh-packet/ack staging slices live
+	// only until the build closure consumes them (contents are copied
+	// into outbox messages by value), so steady-state clearing passes
+	// reuse them instead of allocating per block. clearSeen is the
+	// clear pass's height-dedupe scratch map, reused likewise.
+	pktBuf    [][]ibc.Packet
+	ackBuf    [][]eventindex.AckWrite
+	clearSeen map[int64]bool
+
 	stats   Stats
 	stopped bool
 
@@ -191,8 +200,12 @@ func New(sched *sim.Scheduler, rng *sim.RNG, cfg Config, pair *chain.Pair) *Rela
 		cfg.ConfirmAttempts = 120
 	}
 	r := &Relayer{
-		sched:       sched,
-		rng:         rng,
+		sched: sched,
+		// Derive a private nonce stream: submission nonces then depend
+		// only on this relayer's own submit order, not on how draws from
+		// a shared stream interleave across relayers (which the parallel
+		// runner could not reproduce).
+		rng:         sim.NewRNG(rng.Int63()),
 		cfg:         cfg,
 		host:        netem.Host("relayer/" + cfg.Name),
 		cpu:         sim.NewSerialResource(sched),
@@ -415,12 +428,38 @@ func (r *Relayer) doPull(src *endpoint, attempt int, te *eventindex.TxEvents, fn
 	})
 }
 
+// getPktBuf pops a pooled packet-staging slice (or makes one).
+func (r *Relayer) getPktBuf(capHint int) []ibc.Packet {
+	if n := len(r.pktBuf); n > 0 {
+		buf := r.pktBuf[n-1]
+		r.pktBuf[n-1] = nil
+		r.pktBuf = r.pktBuf[:n-1]
+		return buf[:0]
+	}
+	return make([]ibc.Packet, 0, capHint)
+}
+
+func (r *Relayer) putPktBuf(buf []ibc.Packet) { r.pktBuf = append(r.pktBuf, buf) }
+
+// getAckBuf pops a pooled ack-staging slice (or makes one).
+func (r *Relayer) getAckBuf(capHint int) []eventindex.AckWrite {
+	if n := len(r.ackBuf); n > 0 {
+		buf := r.ackBuf[n-1]
+		r.ackBuf[n-1] = nil
+		r.ackBuf = r.ackBuf[:n-1]
+		return buf[:0]
+	}
+	return make([]eventindex.AckWrite, 0, capHint)
+}
+
+func (r *Relayer) putAckBuf(buf []eventindex.AckWrite) { r.ackBuf = append(r.ackBuf, buf) }
+
 // buildRecvBatch turns one source tx's indexed send_packet records into
 // MsgRecvPackets destined for dst. The index slice is shared across
 // relayers and must not be mutated.
 func (r *Relayer) buildRecvBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 	packets := te.SendPackets(src.channel)
-	fresh := make([]ibc.Packet, 0, len(packets))
+	fresh := r.getPktBuf(len(packets))
 	for _, p := range packets {
 		id := pktID{src.chain.ID, p.SourceChannel, p.Sequence}
 		if r.seenRecv[id] {
@@ -437,6 +476,7 @@ func (r *Relayer) buildRecvBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 		fresh = append(fresh, p)
 	}
 	if len(fresh) == 0 {
+		r.putPktBuf(fresh)
 		return
 	}
 	now := r.sched.Now()
@@ -464,6 +504,7 @@ func (r *Relayer) buildRecvBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 				step:        metrics.StepRecvBroadcast,
 			})
 		}
+		r.putPktBuf(fresh)
 		r.tryFlush(dst)
 	})
 }
@@ -473,7 +514,7 @@ func (r *Relayer) buildRecvBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 // source).
 func (r *Relayer) buildAckBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 	writes := te.Acks(src.channel)
-	fresh := make([]eventindex.AckWrite, 0, len(writes))
+	fresh := r.getAckBuf(len(writes))
 	for _, w := range writes {
 		id := pktID{dst.chain.ID, w.Packet.SourceChannel, w.Packet.Sequence}
 		if r.seenAck[id] {
@@ -484,6 +525,7 @@ func (r *Relayer) buildAckBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 		fresh = append(fresh, w)
 	}
 	if len(fresh) == 0 {
+		r.putAckBuf(fresh)
 		return
 	}
 	now := r.sched.Now()
@@ -521,6 +563,7 @@ func (r *Relayer) buildAckBatch(src, dst *endpoint, te *eventindex.TxEvents) {
 				step:        metrics.StepAckBroadcast,
 			})
 		}
+		r.putAckBuf(fresh)
 		r.tryFlush(dst)
 	})
 }
@@ -603,11 +646,15 @@ func (r *Relayer) flushNext(dst *endpoint) {
 	src := r.counterpartOf(dst)
 	r.backlog.Observe(float64(len(dst.outbox)))
 
-	// Only messages whose proof height is available on the counterparty
-	// can be submitted; the rest wait for the next block.
+	// Only messages whose proof height the relayer has observed on the
+	// counterparty can be submitted; the rest wait for the next block
+	// frame. Gating on the event-observed height (not a live store read)
+	// keeps the decision a function of this relayer's own message
+	// history, which the parallel runner reproduces exactly; the header
+	// read in clientUpdate is then immutable committed data.
 	n := 0
 	for n < len(dst.outbox) && n < r.cfg.MaxMsgsPerTx {
-		if dst.outbox[n].proofHeight > src.chain.Store.Height() {
+		if dst.outbox[n].proofHeight > src.height {
 			break
 		}
 		n++
@@ -799,42 +846,53 @@ func (r *Relayer) confirmTx(dst *endpoint, tx *app.Tx, batch []outMsg, meta txMe
 			// rebuilding), so a backlog-clearing batch colliding with
 			// prior deliveries still lands its fresh messages on the
 			// retry.
-			var retry []outMsg
-			for _, m := range batch {
-				if !m.retried {
-					m.retried = true
-					if r.settledOnChain(dst, m) {
-						continue
-					}
-					retry = append(retry, m)
-				}
-			}
-			if len(retry) > 0 {
-				dst.outbox = append(dst.outbox, retry...)
-				r.tryFlush(dst)
-			}
+			r.retryUnsettled(dst, batch)
 		})
 	})
 }
 
-// settledOnChain reports whether a message's packet no longer needs
-// relaying because its on-chain effect is already committed — the
-// receipt exists on the destination (recv) or the commitment is cleared
-// on the source (ack/timeout). Models Hermes' unreceived_packets /
-// unreceived_acks re-query before a rebuild; the query cost is folded
-// into the confirmation polling that precedes every retry.
-func (r *Relayer) settledOnChain(dst *endpoint, m outMsg) bool {
-	c := dst.chain
-	ctx := &app.Context{ChainID: c.ID, State: c.App.State(), Bank: c.App.Bank(), App: c.App}
-	p := m.packet
-	switch m.msg.(type) {
-	case ibc.MsgRecvPacket:
-		return c.Keeper.HasReceipt(ctx, p.DestPort, p.DestChannel, p.Sequence)
-	case ibc.MsgAcknowledgement, ibc.MsgTimeout:
-		return !c.Keeper.HasCommitment(ctx, p.SourcePort, p.SourceChannel, p.Sequence)
-	default:
-		return false
+// retryUnsettled re-queues a failed batch's not-yet-retried messages
+// after filtering out those another relayer already settled on chain —
+// the receipt exists on the destination (recv) or the commitment is
+// cleared on the source (ack/timeout). Models Hermes' unreceived_packets
+// / unreceived_acks re-query before a rebuild, as one batched RPC
+// against committed state (like every other state read, so it works
+// across partition boundaries).
+func (r *Relayer) retryUnsettled(dst *endpoint, batch []outMsg) {
+	var candidates []outMsg
+	var probes []rpc.SettledProbe
+	for _, m := range batch {
+		if m.retried {
+			continue
+		}
+		m.retried = true
+		p := m.packet
+		probe := rpc.SettledProbe{Port: p.DestPort, Channel: p.DestChannel, Sequence: p.Sequence}
+		if _, isRecv := m.msg.(ibc.MsgRecvPacket); !isRecv {
+			probe = rpc.SettledProbe{Ack: true, Port: p.SourcePort, Channel: p.SourceChannel, Sequence: p.Sequence}
+		}
+		candidates = append(candidates, m)
+		probes = append(probes, probe)
 	}
+	if len(candidates) == 0 {
+		return
+	}
+	dst.rpc.QuerySettled(r.host, probes, func(settled []bool, err error) {
+		if r.stopped {
+			return
+		}
+		var retry []outMsg
+		for i, m := range candidates {
+			if err == nil && i < len(settled) && settled[i] {
+				continue
+			}
+			retry = append(retry, m)
+		}
+		if len(retry) > 0 {
+			dst.outbox = append(dst.outbox, retry...)
+			r.tryFlush(dst)
+		}
+	})
 }
 
 // releaseBatch forgets the seen-marks of messages whose delivery could
@@ -891,8 +949,16 @@ func (r *Relayer) scheduleClear(src, dst *endpoint) {
 			r.missedB = nil
 		}
 		// Dedupe: a released batch queues one entry per message, and gaps
-		// can overlap earlier misses — one indexed query per height.
-		seen := make(map[int64]bool, len(missed))
+		// can overlap earlier misses — one indexed query per height. The
+		// scratch map is relayer-owned and only used within this event,
+		// so passes reuse it.
+		if r.clearSeen == nil {
+			r.clearSeen = make(map[int64]bool, len(missed))
+		}
+		seen := r.clearSeen
+		for h := range seen {
+			delete(seen, h)
+		}
 		for _, h := range missed {
 			if seen[h] {
 				continue

@@ -152,3 +152,31 @@ func TestStepOrderingInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchBufferRecycling pins the batch-build slice reuse: after an
+// initial warmup the per-relayer packet and ack free lists stop growing
+// — every submitted batch returns its backing slice, so a long run
+// allocates a bounded number of buffers regardless of blocks scanned.
+func TestBatchBufferRecycling(t *testing.T) {
+	e := newEnv(t, 11, 1, false)
+	r := e.relayers[0]
+	e.tb.Sched.At(time.Second, func() { e.gen.SubmitBatch(50) })
+	if err := e.tb.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	warmPkt, warmAck := len(r.pktBuf), len(r.ackBuf)
+	if warmPkt == 0 || warmAck == 0 {
+		t.Fatalf("free lists empty after warmup (pkt=%d ack=%d) — buffers not returned", warmPkt, warmAck)
+	}
+	e.tb.Sched.At(e.tb.Sched.Now()+time.Second, func() { e.gen.SubmitBatch(50) })
+	if err := e.tb.Run(e.tb.Sched.Now() + 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.tracker.CompletionCounts()[metrics.StatusCompleted]; got != 100 {
+		t.Fatalf("completed = %d, want 100", got)
+	}
+	if len(r.pktBuf) != warmPkt || len(r.ackBuf) != warmAck {
+		t.Fatalf("free lists grew after warmup: pkt %d->%d ack %d->%d",
+			warmPkt, len(r.pktBuf), warmAck, len(r.ackBuf))
+	}
+}

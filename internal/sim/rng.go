@@ -14,6 +14,9 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// Int63 returns a uniform non-negative 63-bit value (stream derivation).
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
 // Int63n returns a uniform value in [0, n). n must be > 0.
 func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
 

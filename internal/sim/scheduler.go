@@ -18,9 +18,17 @@ var ErrStopped = errors.New("sim: scheduler stopped")
 
 // Event is a callback scheduled to fire at a virtual time.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at time.Duration
+	// ctime is the virtual time the event was created at. Ordering ties
+	// on (at, ctime) before falling back to seq: within one scheduler
+	// seq is assigned in creation order and the clock never runs
+	// backwards, so (at, ctime, seq) sorts exactly like (at, seq) — but
+	// it lets the parallel runner merge cross-partition messages (which
+	// carry their true creation time) into the position the serial
+	// scheduler would have dispatched them in.
+	ctime time.Duration
+	seq   uint64
+	fn    func()
 
 	// index is maintained by the heap implementation.
 	index int
@@ -33,6 +41,9 @@ func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
+	}
+	if q[i].ctime != q[j].ctime {
+		return q[i].ctime < q[j].ctime
 	}
 	return q[i].seq < q[j].seq
 }
@@ -100,11 +111,19 @@ func (s *Scheduler) Len() int { return len(s.queue) }
 // At schedules fn to run at virtual time t. Times in the past are clamped
 // to the current time, so the event runs on the next dispatch.
 func (s *Scheduler) At(t time.Duration, fn func()) {
-	if fn == nil {
-		return
-	}
 	if t < s.now {
 		t = s.now
+	}
+	s.injectAt(t, s.now, fn)
+}
+
+// injectAt schedules fn at time t with an explicit creation time. The
+// parallel runner uses it to merge cross-partition messages that were
+// created on another partition's clock; At/After route through it with
+// ctime = now.
+func (s *Scheduler) injectAt(t, ctime time.Duration, fn func()) {
+	if fn == nil {
+		return
 	}
 	s.seq++
 	var ev *event
@@ -112,11 +131,42 @@ func (s *Scheduler) At(t time.Duration, fn func()) {
 		ev = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
-		ev.at, ev.seq, ev.fn = t, s.seq, fn
+		ev.at, ev.ctime, ev.seq, ev.fn = t, ctime, s.seq, fn
 	} else {
-		ev = &event{at: t, seq: s.seq, fn: fn}
+		ev = &event{at: t, ctime: ctime, seq: s.seq, fn: fn}
 	}
 	heap.Push(&s.queue, ev)
+}
+
+// nextAt peeks the earliest pending event time (ok=false when empty).
+func (s *Scheduler) nextAt() (time.Duration, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
+// runWindow dispatches every event with at < end, then parks the clock
+// at end. It returns false if the scheduler was stopped (or hit
+// MaxEvents) mid-window. The parallel runner drains each partition's
+// window [start, end) this way: the exclusive bound keeps events at
+// exactly `end` for the next window, after the barrier has merged any
+// cross-partition messages landing there.
+func (s *Scheduler) runWindow(end time.Duration) bool {
+	for len(s.queue) > 0 && s.queue[0].at < end {
+		if s.stopped {
+			return false
+		}
+		if s.MaxEvents > 0 && s.processed >= s.MaxEvents {
+			s.stopped = true
+			return false
+		}
+		s.step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+	return true
 }
 
 // After schedules fn to run delta after the current virtual time.

@@ -64,6 +64,13 @@ type Config struct {
 	// fan-out's signature checks.
 	ReferenceVoteVerify bool
 
+	// ReferenceQuorumTally replaces the counted per-round tallies with
+	// the original map-walk recomputation on every quorum check (O(V)
+	// per received vote instead of O(1)). At most one block ID can ever
+	// exceed 2/3 of total power, so map iteration order never influenced
+	// the outcome; the flag exists to pin that equivalence.
+	ReferenceQuorumTally bool
+
 	// Obs attaches the run's observability sinks; nil (the default)
 	// disables instrumentation. Only the per-block commit path records
 	// spans — the per-vote hot path stays untouched.
@@ -100,6 +107,48 @@ type proposalMsg struct {
 	block  *types.Block
 }
 
+// blockPower accumulates one block ID's voting power within a round.
+type blockPower struct {
+	id    types.BlockID
+	power int64
+}
+
+// roundTally is one node's received votes for a (height, round, type):
+// votes indexed by validator ordinal (nil = not seen) with running power
+// counts, so duplicate detection and the 2/3 quorum check are O(1) per
+// vote instead of a map walk over the validator set.
+type roundTally struct {
+	votes      []*types.Vote
+	totalPower int64
+	blocks     []blockPower
+}
+
+// count reports recorded votes (nil tally = none).
+func (rt *roundTally) count() int {
+	if rt == nil {
+		return 0
+	}
+	n := 0
+	for _, v := range rt.votes {
+		if v != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// add records a verified, non-duplicate vote's power.
+func (rt *roundTally) add(id types.BlockID, power int64) {
+	rt.totalPower += power
+	for i := range rt.blocks {
+		if rt.blocks[i].id == id {
+			rt.blocks[i].power += power
+			return
+		}
+	}
+	rt.blocks = append(rt.blocks, blockPower{id: id, power: power})
+}
+
 // node is one validator actor.
 type node struct {
 	index int
@@ -113,20 +162,30 @@ type node struct {
 	step   step
 
 	proposals  map[int32]*types.Block
-	prevotes   map[int32]map[valkey.Address]*types.Vote
-	precommits map[int32]map[valkey.Address]*types.Vote
+	prevotes   map[int32]*roundTally
+	precommits map[int32]*roundTally
 
 	prevoted     map[int32]bool
 	precommitted map[int32]bool
 }
 
-func (n *node) votes(m map[int32]map[valkey.Address]*types.Vote, round int32) map[valkey.Address]*types.Vote {
-	vs, ok := m[round]
+func (n *node) tally(m map[int32]*roundTally, round int32, validators int) *roundTally {
+	rt, ok := m[round]
 	if !ok {
-		vs = make(map[valkey.Address]*types.Vote)
-		m[round] = vs
+		rt = &roundTally{votes: make([]*types.Vote, validators)}
+		m[round] = rt
 	}
-	return vs
+	return rt
+}
+
+// pooledVote is a recyclable gossiped vote. Delivery closures capture
+// the wrapper and the generation at cast time; a recycled wrapper bumps
+// the generation, so stale deliveries drop without touching the reused
+// vote. Signature bytes are never pooled (Sign allocates fresh), so
+// commits and the verification cache can retain them safely.
+type pooledVote struct {
+	v   types.Vote
+	gen uint64
 }
 
 // Engine drives consensus for one chain.
@@ -140,12 +199,24 @@ type Engine struct {
 	stor   *store.Store
 	valset *types.ValidatorSet
 	nodes  []*node
+	// ordinals maps validator addresses to their valset index, backing
+	// the ordinal-indexed round tallies.
+	ordinals map[valkey.Address]int
 
 	// votes is the chain's shared vote-verification engine: every
 	// gossiped vote's signature is checked exactly once chain-wide.
 	votes *votesig.Cache
 	// signBuf is the pooled sign-bytes buffer for castVote.
 	signBuf []byte
+
+	// votePool recycles gossiped vote allocations. A cast vote stays
+	// live for its height only (every receiver drops mismatched-height
+	// votes before any other use), so startHeight retires the previous
+	// height's votes back to the free list; the generation stamp turns a
+	// late delivery of a retired vote into the same silent drop the
+	// height check used to produce.
+	votePool []*pooledVote
+	liveVote []*pooledVote
 
 	// primary is the full node serving RPC; its commit defines block
 	// availability to clients.
@@ -207,13 +278,17 @@ func New(sched *sim.Scheduler, net *netem.Network, cfg Config, app abci.Applicat
 			key:          key,
 			addr:         key.Pub().Address(),
 			proposals:    make(map[int32]*types.Block),
-			prevotes:     make(map[int32]map[valkey.Address]*types.Vote),
-			precommits:   make(map[int32]map[valkey.Address]*types.Vote),
+			prevotes:     make(map[int32]*roundTally),
+			precommits:   make(map[int32]*roundTally),
 			prevoted:     make(map[int32]bool),
 			precommitted: make(map[int32]bool),
 		})
 	}
 	e.valset = types.NewValidatorSet(vals)
+	e.ordinals = make(map[valkey.Address]int, len(vals))
+	for i, val := range vals {
+		e.ordinals[val.Address] = i
+	}
 	return e
 }
 
@@ -279,13 +354,23 @@ func (e *Engine) startHeight(h int64) {
 		return
 	}
 	e.votes.PruneBelow(h - voteCacheKeepHeights)
+	// Retire the previous height's gossiped votes: nothing references
+	// them past this point (tallies are reset below, commit signatures
+	// were value-copied at commit time), and the generation bump turns
+	// any still-in-flight delivery into the drop the height check in
+	// onVote would have produced anyway.
+	for _, pv := range e.liveVote {
+		pv.gen++
+		e.votePool = append(e.votePool, pv)
+	}
+	e.liveVote = e.liveVote[:0]
 	for _, n := range e.nodes {
 		n.height = h
 		n.round = 0
 		n.step = stepPropose
 		n.proposals = make(map[int32]*types.Block)
-		n.prevotes = make(map[int32]map[valkey.Address]*types.Vote)
-		n.precommits = make(map[int32]map[valkey.Address]*types.Vote)
+		n.prevotes = make(map[int32]*roundTally)
+		n.precommits = make(map[int32]*roundTally)
 		n.prevoted = make(map[int32]bool)
 		n.precommitted = make(map[int32]bool)
 	}
@@ -405,7 +490,16 @@ func (e *Engine) castVote(n *node, vt types.SignedMsgType, h int64, r int32, blo
 		n.precommitted[r] = true
 		n.step = stepPrecommit
 	}
-	v := &types.Vote{
+	var pv *pooledVote
+	if k := len(e.votePool); k > 0 {
+		pv = e.votePool[k-1]
+		e.votePool[k-1] = nil
+		e.votePool = e.votePool[:k-1]
+	} else {
+		pv = &pooledVote{}
+	}
+	e.liveVote = append(e.liveVote, pv)
+	pv.v = types.Vote{
 		Type:             vt,
 		Height:           h,
 		Round:            r,
@@ -413,11 +507,17 @@ func (e *Engine) castVote(n *node, vt types.SignedMsgType, h int64, r int32, blo
 		Timestamp:        e.sched.Now(),
 		ValidatorAddress: n.addr,
 	}
-	e.signBuf = types.AppendVoteSignBytes(e.signBuf[:0], e.cfg.ChainID, v)
-	v.Signature = n.key.Sign(e.signBuf)
+	e.signBuf = types.AppendVoteSignBytes(e.signBuf[:0], e.cfg.ChainID, &pv.v)
+	pv.v.Signature = n.key.Sign(e.signBuf)
+	gen := pv.gen
 	for _, dst := range e.nodes {
 		dst := dst
-		e.net.Send(n.host, dst.host, func() { e.onVote(dst, v) })
+		e.net.Send(n.host, dst.host, func() {
+			if pv.gen != gen {
+				return // vote retired: its height already committed
+			}
+			e.onVote(dst, &pv.v)
+		})
 	}
 }
 
@@ -442,57 +542,81 @@ func (e *Engine) onVote(n *node, v *types.Vote) {
 	} else if !e.votes.VerifyVote(e.cfg.ChainID, v, val.PubKey) {
 		return
 	}
+	ord := e.ordinals[v.ValidatorAddress]
 	switch v.Type {
 	case types.PrevoteType:
-		vs := n.votes(n.prevotes, v.Round)
-		if _, dup := vs[v.ValidatorAddress]; dup {
+		rt := n.tally(n.prevotes, v.Round, len(e.nodes))
+		if rt.votes[ord] != nil {
 			return
 		}
-		vs[v.ValidatorAddress] = v
+		rt.votes[ord] = v
+		rt.add(v.BlockID, val.VotingPower)
 		e.onPrevoteQuorum(n, v.Round)
 	case types.PrecommitType:
-		vs := n.votes(n.precommits, v.Round)
-		if _, dup := vs[v.ValidatorAddress]; dup {
+		rt := n.tally(n.precommits, v.Round, len(e.nodes))
+		if rt.votes[ord] != nil {
 			return
 		}
-		vs[v.ValidatorAddress] = v
+		rt.votes[ord] = v
+		rt.add(v.BlockID, val.VotingPower)
 		e.onPrecommitQuorum(n, v.Round)
 	}
 }
 
 // quorumFor returns the block ID holding a 2/3+ power majority, if any.
-func (e *Engine) quorumFor(votes map[valkey.Address]*types.Vote) (types.BlockID, bool) {
-	power := make(map[types.BlockID]int64)
-	for addr, v := range votes {
-		if val := e.valset.ByAddress(addr); val != nil {
-			power[v.BlockID] += val.VotingPower
+// The counted tally answers in O(distinct block IDs); reference mode
+// rebuilds the old per-check power map — at most one ID can exceed 2/3
+// of total power, so the map's iteration order never affected which ID
+// wins and both paths are byte-identical.
+func (e *Engine) quorumFor(rt *roundTally) (types.BlockID, bool) {
+	if e.cfg.ReferenceQuorumTally {
+		power := make(map[types.BlockID]int64)
+		for _, v := range rt.votes {
+			if v == nil {
+				continue
+			}
+			if val := e.valset.ByAddress(v.ValidatorAddress); val != nil {
+				power[v.BlockID] += val.VotingPower
+			}
 		}
+		for id, p := range power {
+			if p*3 > e.valset.TotalPower()*2 {
+				return id, true
+			}
+		}
+		return types.BlockID{}, false
 	}
-	for id, p := range power {
-		if p*3 > e.valset.TotalPower()*2 {
-			return id, true
+	for i := range rt.blocks {
+		if rt.blocks[i].power*3 > e.valset.TotalPower()*2 {
+			return rt.blocks[i].id, true
 		}
 	}
 	return types.BlockID{}, false
 }
 
 // totalVotePower sums power across all votes in a round.
-func (e *Engine) totalVotePower(votes map[valkey.Address]*types.Vote) int64 {
-	var p int64
-	for addr := range votes {
-		if val := e.valset.ByAddress(addr); val != nil {
-			p += val.VotingPower
+func (e *Engine) totalVotePower(rt *roundTally) int64 {
+	if e.cfg.ReferenceQuorumTally {
+		var p int64
+		for _, v := range rt.votes {
+			if v == nil {
+				continue
+			}
+			if val := e.valset.ByAddress(v.ValidatorAddress); val != nil {
+				p += val.VotingPower
+			}
 		}
+		return p
 	}
-	return p
+	return rt.totalPower
 }
 
 func (e *Engine) onPrevoteQuorum(n *node, r int32) {
 	if n.round != r || n.precommitted[r] {
 		return
 	}
-	votes := n.votes(n.prevotes, r)
-	if id, ok := e.quorumFor(votes); ok {
+	rt := n.tally(n.prevotes, r, len(e.nodes))
+	if id, ok := e.quorumFor(rt); ok {
 		// Precommit the majority block if we have it, nil otherwise.
 		if prop := n.proposals[r]; !id.IsZero() && prop != nil && prop.Header.Hash() == id.Hash {
 			e.castVote(n, types.PrecommitType, n.height, r, id)
@@ -503,7 +627,7 @@ func (e *Engine) onPrevoteQuorum(n *node, r int32) {
 	}
 	// All power voted without a majority: precommit nil after a step
 	// timeout to let stragglers arrive.
-	if e.totalVotePower(votes) == e.valset.TotalPower() {
+	if e.totalVotePower(rt) == e.valset.TotalPower() {
 		h := n.height
 		e.sched.After(e.cfg.TimeoutRoundStep, func() {
 			if n.height == h && n.round == r && !n.precommitted[r] && !n.down {
@@ -517,8 +641,8 @@ func (e *Engine) onPrecommitQuorum(n *node, r int32) {
 	if n.height == 0 || n.step == stepCommitted {
 		return
 	}
-	votes := n.votes(n.precommits, r)
-	id, ok := e.quorumFor(votes)
+	rt := n.tally(n.precommits, r, len(e.nodes))
+	id, ok := e.quorumFor(rt)
 	if !ok {
 		return
 	}
@@ -555,8 +679,8 @@ func (e *Engine) maybeCommit(n *node, r int32) {
 	if n.step == stepCommitted || prop == nil {
 		return
 	}
-	votes := n.votes(n.precommits, r)
-	id, ok := e.quorumFor(votes)
+	rt := n.tally(n.precommits, r, len(e.nodes))
+	id, ok := e.quorumFor(rt)
 	if !ok || id.IsZero() || prop.Header.Hash() != id.Hash {
 		return
 	}
@@ -576,11 +700,14 @@ func (e *Engine) commitCanonical(block *types.Block, n *node, r int32, id types.
 	e.committedHeight = block.Header.Height
 
 	// Assemble the canonical commit from the precommits this node saw.
-	votes := n.votes(n.precommits, r)
+	// Vote signatures are value-copied slice headers: Sign allocates a
+	// fresh slice per vote, so retiring the pooled vote wrappers at the
+	// next height never touches a commit's bytes.
+	rt := n.tally(n.precommits, r, len(e.nodes))
 	commit := &types.Commit{Height: block.Header.Height, Round: r, BlockID: id}
-	for _, val := range e.valset.Validators {
+	for i, val := range e.valset.Validators {
 		sig := types.CommitSig{Flag: types.BlockIDFlagAbsent, ValidatorAddress: val.Address}
-		if v, ok := votes[val.Address]; ok {
+		if v := rt.votes[i]; v != nil {
 			if v.BlockID == id {
 				sig.Flag = types.BlockIDFlagCommit
 			} else {

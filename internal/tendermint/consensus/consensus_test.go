@@ -53,8 +53,8 @@ type harness struct {
 	eng   *Engine
 }
 
-func newHarness(t *testing.T, mutate func(*Config)) *harness {
-	t.Helper()
+func newHarness(tb testing.TB, mutate func(*Config)) *harness {
+	tb.Helper()
 	sched := sim.NewScheduler()
 	net := netem.New(sched, sim.NewRNG(1), netem.DefaultWAN())
 	cfg := DefaultConfig("chain-a")
@@ -408,7 +408,7 @@ func TestCacheRejectsInjectedVotes(t *testing.T) {
 	}
 	forged.Signature = valkey.Derive("attacker", 0).Sign(types.VoteSignBytes("chain-a", forged))
 	h.eng.onVote(receiver, forged)
-	if len(receiver.prevotes[0]) != 0 {
+	if receiver.prevotes[0].count() != 0 {
 		t.Fatal("forged vote recorded")
 	}
 
@@ -422,7 +422,7 @@ func TestCacheRejectsInjectedVotes(t *testing.T) {
 	}
 	alien.Signature = stranger.Sign(types.VoteSignBytes("chain-a", alien))
 	h.eng.onVote(receiver, alien)
-	if len(receiver.prevotes[0]) != 0 {
+	if receiver.prevotes[0].count() != 0 {
 		t.Fatal("stranger vote recorded")
 	}
 
@@ -437,13 +437,13 @@ func TestCacheRejectsInjectedVotes(t *testing.T) {
 	}
 	good.Signature = val2.Sign(types.VoteSignBytes("chain-a", good))
 	h.eng.onVote(receiver, good)
-	if len(receiver.prevotes[0]) != 1 {
+	if receiver.prevotes[0].count() != 1 {
 		t.Fatal("valid vote not recorded")
 	}
 
 	// Duplicate delivery: recorded once, power not double-counted.
 	h.eng.onVote(receiver, good)
-	if len(receiver.prevotes[0]) != 1 {
+	if receiver.prevotes[0].count() != 1 {
 		t.Fatal("duplicate vote double-recorded")
 	}
 	if p := h.eng.totalVotePower(receiver.prevotes[0]); p != 10 {
@@ -456,7 +456,7 @@ func TestCacheRejectsInjectedVotes(t *testing.T) {
 	tampered.Signature[0] ^= 0xff
 	other := h.eng.nodes[3]
 	h.eng.onVote(other, &tampered)
-	if len(other.prevotes[0]) != 0 {
+	if other.prevotes[0].count() != 0 {
 		t.Fatal("tampered vote accepted via cache")
 	}
 
@@ -464,10 +464,127 @@ func TestCacheRejectsInjectedVotes(t *testing.T) {
 	before := h.eng.VoteCache().Stats()
 	h.eng.onVote(other, good)
 	after := h.eng.VoteCache().Stats()
-	if len(other.prevotes[0]) != 1 {
+	if other.prevotes[0].count() != 1 {
 		t.Fatal("valid vote not recorded at second node")
 	}
 	if after.Hits != before.Hits+1 || after.Verifications != before.Verifications {
 		t.Fatalf("second delivery re-verified (before=%+v after=%+v)", before, after)
+	}
+}
+
+// --- counted quorum tallies ---------------------------------------------------
+
+// TestQuorumTallyReferenceEquivalence runs the same seed through the
+// counted per-round tallies and the reference map-walk recomputation:
+// the chains must be byte-identical (at most one block ID can exceed
+// 2/3 of total power, so map iteration order never picked the winner).
+func TestQuorumTallyReferenceEquivalence(t *testing.T) {
+	run := func(reference bool) []types.Hash {
+		h := newHarness(t, func(c *Config) {
+			c.Validators = 7
+			c.ReferenceQuorumTally = reference
+		})
+		for i := 0; i < 20; i++ {
+			if err := h.pool.Add(stubTx{id: fmt.Sprintf("q%d", i), gas: 400}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.eng.Start()
+		if err := h.sched.RunUntil(60 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if h.store.Height() < 10 {
+			t.Fatalf("height = %d, chain stalled", h.store.Height())
+		}
+		var hashes []types.Hash
+		for height := int64(1); height <= h.store.Height(); height++ {
+			cb, err := h.store.Block(height)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes = append(hashes, cb.Block.Header.Hash())
+		}
+		return hashes
+	}
+	counted := run(false)
+	reference := run(true)
+	if len(counted) != len(reference) {
+		t.Fatalf("chain lengths diverge: counted=%d reference=%d", len(counted), len(reference))
+	}
+	for i := range counted {
+		if counted[i] != reference[i] {
+			t.Fatalf("block %d differs between counted and reference tallies", i+1)
+		}
+	}
+}
+
+// TestVotePoolSteadyStateAllocs pins the gossip path's vote recycling:
+// once the chain reaches steady state, the population of pooled vote
+// wrappers (free list + live) stops growing — later heights reuse
+// retired wrappers instead of allocating fresh types.Vote values for
+// every cast.
+func TestVotePoolSteadyStateAllocs(t *testing.T) {
+	h := newHarness(t, nil)
+	h.eng.Start()
+	if err := h.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	warm := len(h.eng.votePool) + len(h.eng.liveVote)
+	warmHeight := h.store.Height()
+	if warm == 0 || warmHeight < 3 {
+		t.Fatalf("warmup produced %d wrappers over %d heights", warm, warmHeight)
+	}
+	if err := h.sched.RunUntil(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h.store.Height() < warmHeight+10 {
+		t.Fatalf("steady window committed too few blocks: %d -> %d", warmHeight, h.store.Height())
+	}
+	steady := len(h.eng.votePool) + len(h.eng.liveVote)
+	if steady != warm {
+		t.Fatalf("vote wrapper population grew from %d to %d over %d further heights — pool not recycling",
+			warm, steady, h.store.Height()-warmHeight)
+	}
+	if len(h.eng.votePool) == 0 {
+		t.Fatal("free list empty after a committed height: startHeight is not retiring votes")
+	}
+}
+
+// BenchmarkQuorumTally measures one quorum check on a full round of
+// prevotes: the counted tally answers from running power sums in
+// O(distinct block IDs); the reference path rebuilds a power map over
+// the whole validator set per check.
+func BenchmarkQuorumTally(b *testing.B) {
+	for _, vals := range []int{4, 16, 64} {
+		h := newHarness(b, func(c *Config) { c.Validators = vals })
+		rt := &roundTally{votes: make([]*types.Vote, vals)}
+		id := types.BlockID{Hash: types.Hash{42}}
+		for ord, val := range h.eng.valset.Validators {
+			rt.votes[ord] = &types.Vote{
+				Type:             types.PrevoteType,
+				Height:           1,
+				BlockID:          id,
+				ValidatorAddress: val.PubKey.Address(),
+			}
+			rt.add(id, val.VotingPower)
+		}
+		b.Run(fmt.Sprintf("counted-vals-%d", vals), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := h.eng.quorumFor(rt); !ok {
+					b.Fatal("full round has no quorum")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reference-vals-%d", vals), func(b *testing.B) {
+			b.ReportAllocs()
+			h.eng.cfg.ReferenceQuorumTally = true
+			defer func() { h.eng.cfg.ReferenceQuorumTally = false }()
+			for i := 0; i < b.N; i++ {
+				if _, ok := h.eng.quorumFor(rt); !ok {
+					b.Fatal("full round has no quorum")
+				}
+			}
+		})
 	}
 }

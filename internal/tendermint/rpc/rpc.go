@@ -16,6 +16,7 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ibcbench/internal/eventindex"
@@ -108,11 +109,17 @@ type Server struct {
 	// events resolves the chain's shared event index at a height (may be
 	// nil on servers assembled without an index source).
 	events func(int64) *eventindex.BlockEvents
+	// settled resolves packet-settlement probes against committed app
+	// state (installed by the owning chain; nil rejects QuerySettled).
+	settled func(SettledProbe) bool
 
 	subs []subscriber
 
-	broadcasts  uint64
-	queries     uint64
+	// Counters are atomic: they increment at the client's call site,
+	// which under the parallel runner is the caller's partition, not the
+	// server's.
+	broadcasts  atomic.Uint64
+	queries     atomic.Uint64
 	frameErrors uint64
 }
 
@@ -179,13 +186,22 @@ func (s *Server) BusyTime() time.Duration { return s.serial.BusyTime() }
 
 // Stats reports (broadcasts, queries, frameErrors).
 func (s *Server) Stats() (uint64, uint64, uint64) {
-	return s.broadcasts, s.queries, s.frameErrors
+	return s.broadcasts.Load(), s.queries.Load(), s.frameErrors
 }
+
+// SetSettledQuery installs the packet-settlement resolver backing
+// QuerySettled. The owning chain wires it at assembly time.
+func (s *Server) SetSettledQuery(fn func(SettledProbe) bool) { s.settled = fn }
 
 // request runs fn on the serial resource after the client->server hop,
 // then delivers the reply after the server->client hop. A client-side
 // timeout aborts waiting (the server still does the work).
-func request[T any](s *Server, from netem.Host, service time.Duration, fn func() (T, error), cb func(T, error)) {
+//
+// The service cost is resolved on the server at arrival time — client
+// callers may live on another partition, where the server's store is
+// not coherently readable. The timeout runs on the caller's partition
+// clock: both it and the reply mutate the caller-owned `done` flag.
+func request[T any](s *Server, from netem.Host, service func() time.Duration, fn func() (T, error), cb func(T, error)) {
 	done := false
 	finish := func(v T, err error) {
 		if done {
@@ -195,24 +211,29 @@ func request[T any](s *Server, from netem.Host, service time.Duration, fn func()
 		cb(v, err)
 	}
 	if s.cfg.ClientTimeout > 0 {
-		s.sched.After(s.cfg.ClientTimeout, func() {
+		s.net.SchedulerFor(from).After(s.cfg.ClientTimeout, func() {
 			var zero T
 			finish(zero, ErrTimeout)
 		})
 	}
 	s.net.Send(from, s.host, func() {
-		s.serial.Submit(service, func() {
+		s.serial.Submit(service(), func() {
 			v, err := fn()
 			s.net.Send(s.host, from, func() { finish(v, err) })
 		})
 	})
 }
 
+// flat wraps a fixed service cost for request.
+func flat(d time.Duration) func() time.Duration {
+	return func() time.Duration { return d }
+}
+
 // BroadcastTxSync submits a transaction: it is accepted into the mempool
 // (after CheckTx) or rejected. The reply carries the CheckTx error.
 func (s *Server) BroadcastTxSync(from netem.Host, tx types.Tx, cb func(error)) {
-	s.broadcasts++
-	request(s, from, s.cfg.BroadcastCost, func() (struct{}, error) {
+	s.broadcasts.Add(1)
+	request(s, from, flat(s.cfg.BroadcastCost), func() (struct{}, error) {
 		return struct{}{}, s.pool.Add(tx)
 	}, func(_ struct{}, err error) {
 		if cb != nil {
@@ -224,8 +245,8 @@ func (s *Server) BroadcastTxSync(from netem.Host, tx types.Tx, cb func(error)) {
 // QueryTx checks whether a transaction is committed (light confirmation
 // query; returns ErrNotFound while pending).
 func (s *Server) QueryTx(from netem.Host, hash types.Hash, cb func(*store.TxInfo, error)) {
-	s.queries++
-	request(s, from, s.cfg.StatusCost, func() (*store.TxInfo, error) {
+	s.queries.Add(1)
+	request(s, from, flat(s.cfg.StatusCost), func() (*store.TxInfo, error) {
 		info, err := s.stor.Tx(hash)
 		if err != nil {
 			return nil, ErrNotFound
@@ -238,14 +259,17 @@ func (s *Server) QueryTx(from netem.Host, hash types.Hash, cb func(*store.TxInfo
 // with a service time proportional to the response size. This is the
 // operation behind 69% of the paper's cross-chain processing time.
 func (s *Server) QueryTxData(from netem.Host, hash types.Hash, cb func(*store.TxInfo, error)) {
-	s.queries++
-	info, lookupErr := s.stor.Tx(hash)
-	cost := s.cfg.StatusCost
-	if lookupErr == nil && s.txQueryCost != nil {
-		cost = time.Duration(float64(s.txQueryCost(info.Tx)) * s.pageFactor(info.Height))
-	}
-	request(s, from, cost, func() (*store.TxInfo, error) {
-		// Re-resolve under service, in case it committed while queued.
+	s.queries.Add(1)
+	request(s, from, func() time.Duration {
+		// Costed server-side at arrival: callers pull data for committed
+		// transactions, so the lookup resolves the same tx it would have
+		// at the client's call time.
+		info, lookupErr := s.stor.Tx(hash)
+		if lookupErr != nil || s.txQueryCost == nil {
+			return s.cfg.StatusCost
+		}
+		return time.Duration(float64(s.txQueryCost(info.Tx)) * s.pageFactor(info.Height))
+	}, func() (*store.TxInfo, error) {
 		got, err := s.stor.Tx(hash)
 		if err != nil {
 			return nil, ErrNotFound
@@ -273,8 +297,8 @@ func (s *Server) blockQueryCost(height int64) time.Duration {
 // QueryBlockTxs returns all transactions at a height (the paper's
 // tx_search --events tx.height=X), with size-proportional cost.
 func (s *Server) QueryBlockTxs(from netem.Host, height int64, cb func([]*store.TxInfo, error)) {
-	s.queries++
-	request(s, from, s.blockQueryCost(height), func() ([]*store.TxInfo, error) {
+	s.queries.Add(1)
+	request(s, from, func() time.Duration { return s.blockQueryCost(height) }, func() ([]*store.TxInfo, error) {
 		infos, err := s.stor.TxsAtHeight(height)
 		if err != nil {
 			return nil, ErrNotFound
@@ -288,8 +312,8 @@ func (s *Server) QueryBlockTxs(from netem.Host, height int64, cb func([]*store.T
 // tx_search response), but the reply is the block's already-decoded
 // per-channel packet records instead of raw transactions to re-parse.
 func (s *Server) QueryBlockEvents(from netem.Host, height int64, cb func(*eventindex.BlockEvents, error)) {
-	s.queries++
-	request(s, from, s.blockQueryCost(height), func() (*eventindex.BlockEvents, error) {
+	s.queries.Add(1)
+	request(s, from, func() time.Duration { return s.blockQueryCost(height) }, func() (*eventindex.BlockEvents, error) {
 		if s.events == nil {
 			return nil, ErrNotFound
 		}
@@ -303,8 +327,8 @@ func (s *Server) QueryBlockEvents(from netem.Host, height int64, cb func(*eventi
 
 // QueryAccountSequence resolves an account's committed sequence.
 func (s *Server) QueryAccountSequence(from netem.Host, account string, cb func(uint64, error)) {
-	s.queries++
-	request(s, from, s.cfg.StatusCost, func() (uint64, error) {
+	s.queries.Add(1)
+	request(s, from, flat(s.cfg.StatusCost), func() (uint64, error) {
 		if s.accountSeq == nil {
 			return 0, ErrNotFound
 		}
@@ -314,15 +338,50 @@ func (s *Server) QueryAccountSequence(from netem.Host, account string, cb func(u
 
 // QueryHeight reports the latest committed height (status query).
 func (s *Server) QueryHeight(from netem.Host, cb func(int64, error)) {
-	s.queries++
-	request(s, from, s.cfg.StatusCost, func() (int64, error) {
+	s.queries.Add(1)
+	request(s, from, flat(s.cfg.StatusCost), func() (int64, error) {
 		return s.stor.Height(), nil
 	}, cb)
 }
 
+// SettledProbe asks whether one packet's lifecycle step has settled on
+// this chain: Ack=false probes for a receipt (the packet was received),
+// Ack=true probes for a cleared commitment (its acknowledgement or
+// timeout was processed on the sending side).
+type SettledProbe struct {
+	Ack           bool
+	Port, Channel string
+	Sequence      uint64
+}
+
+// QuerySettled resolves a batch of packet-settlement probes against
+// committed application state — the relayer's post-failure redundancy
+// check, performed over RPC like every other state read so it works
+// across partition boundaries. One flat status query covers the batch
+// (a single ABCI multi-query round trip).
+func (s *Server) QuerySettled(from netem.Host, probes []SettledProbe, cb func([]bool, error)) {
+	s.queries.Add(1)
+	request(s, from, flat(s.cfg.StatusCost), func() ([]bool, error) {
+		if s.settled == nil {
+			return nil, ErrNotFound
+		}
+		out := make([]bool, len(probes))
+		for i, p := range probes {
+			out[i] = s.settled(p)
+		}
+		return out, nil
+	}, cb)
+}
+
 // Subscribe registers a WebSocket NewBlock subscription from a host.
+// The registration rides the network like a real subscription request,
+// so it lands on the server's partition regardless of where the caller
+// runs (a standby relayer taking over mid-run subscribes cross-partition)
+// and takes effect one client->server hop later.
 func (s *Server) Subscribe(from netem.Host, fn func(*EventFrame)) {
-	s.subs = append(s.subs, subscriber{host: from, fn: fn})
+	s.net.Send(from, s.host, func() {
+		s.subs = append(s.subs, subscriber{host: from, fn: fn})
+	})
 }
 
 // PublishBlock pushes a committed block to subscribers. Call from the
@@ -367,8 +426,8 @@ func (s *Server) PublishBlock(cb *store.CommittedBlock) {
 // QueryCommit returns the committed block (header + commit signatures) at
 // a height — what the relayer uses to build client updates.
 func (s *Server) QueryCommit(from netem.Host, height int64, cb func(*store.CommittedBlock, error)) {
-	s.queries++
-	request(s, from, s.cfg.StatusCost, func() (*store.CommittedBlock, error) {
+	s.queries.Add(1)
+	request(s, from, flat(s.cfg.StatusCost), func() (*store.CommittedBlock, error) {
 		blk, err := s.stor.Block(height)
 		if err != nil {
 			return nil, ErrNotFound

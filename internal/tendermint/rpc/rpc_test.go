@@ -250,6 +250,10 @@ func TestSubscriptionCarriesSharedIndex(t *testing.T) {
 	f := newFixture(DefaultConfig())
 	var frame *EventFrame
 	f.server.Subscribe(f.client, func(fr *EventFrame) { frame = fr })
+	// Registration rides the network; let it land before publishing.
+	if err := f.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
 	cb := commitBlock(f, 1, tx{id: "a", bytes: 100})
 	f.server.PublishBlock(cb)
 	if err := f.sched.Run(); err != nil {
@@ -293,6 +297,9 @@ func TestSubscriptionDeliversEvents(t *testing.T) {
 	f := newFixture(DefaultConfig())
 	var frames []*EventFrame
 	f.server.Subscribe(f.client, func(fr *EventFrame) { frames = append(frames, fr) })
+	if err := f.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
 	cb := commitBlock(f, 1, tx{id: "a", bytes: 100})
 	f.server.PublishBlock(cb)
 	if err := f.sched.Run(); err != nil {
@@ -312,6 +319,9 @@ func TestWebSocketFrameLimit(t *testing.T) {
 	f := newFixture(cfg)
 	var frame *EventFrame
 	f.server.Subscribe(f.client, func(fr *EventFrame) { frame = fr })
+	if err := f.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
 	cb := commitBlock(f, 1, tx{id: "big", bytes: 2000})
 	f.server.PublishBlock(cb)
 	if err := f.sched.Run(); err != nil {

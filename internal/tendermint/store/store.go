@@ -6,6 +6,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ibcbench/internal/abci"
 	"ibcbench/internal/tendermint/types"
@@ -30,8 +31,13 @@ type CommittedBlock struct {
 	Results []abci.TxResult
 }
 
-// Store is the append-only block store of one chain.
+// Store is the append-only block store of one chain. Appends happen on
+// the owning chain's scheduler; under parallel runs other partitions
+// (light-client update paths reading proof blocks) may query
+// concurrently, so the indexes are guarded by a read/write lock. The
+// committed blocks themselves are immutable once appended.
 type Store struct {
+	mu      sync.RWMutex
 	chainID string
 	blocks  []*CommittedBlock // index 0 = height 1
 	txIndex map[types.Hash]*TxInfo
@@ -53,11 +59,18 @@ func New(chainID string) *Store {
 func (s *Store) ChainID() string { return s.chainID }
 
 // Height reports the latest committed height (0 before the first block).
-func (s *Store) Height() int64 { return int64(len(s.blocks)) }
+func (s *Store) Height() int64 {
+	s.mu.RLock()
+	h := int64(len(s.blocks))
+	s.mu.RUnlock()
+	return h
+}
 
 // Append adds the next block. Heights must be contiguous from 1.
 func (s *Store) Append(cb *CommittedBlock) error {
-	want := s.Height() + 1
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want := int64(len(s.blocks)) + 1
 	if cb.Block.Header.Height != want {
 		return fmt.Errorf("store: appending height %d, want %d", cb.Block.Header.Height, want)
 	}
@@ -82,7 +95,9 @@ func (s *Store) Append(cb *CommittedBlock) error {
 
 // Block returns the committed block at height.
 func (s *Store) Block(height int64) (*CommittedBlock, error) {
-	if height < 1 || height > s.Height() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if height < 1 || height > int64(len(s.blocks)) {
 		return nil, ErrNotFound
 	}
 	return s.blocks[height-1], nil
@@ -90,6 +105,8 @@ func (s *Store) Block(height int64) (*CommittedBlock, error) {
 
 // Tx looks up an executed transaction by hash.
 func (s *Store) Tx(hash types.Hash) (*TxInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	info, ok := s.txIndex[hash]
 	if !ok {
 		return nil, ErrNotFound
@@ -102,7 +119,9 @@ func (s *Store) Tx(hash types.Hash) (*TxInfo, error) {
 // The returned slice is the store's cached materialization; callers must
 // treat it as read-only.
 func (s *Store) TxsAtHeight(height int64) ([]*TxInfo, error) {
-	if height < 1 || height > s.Height() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if height < 1 || height > int64(len(s.blocks)) {
 		return nil, ErrNotFound
 	}
 	return s.txsByHeight[height-1], nil

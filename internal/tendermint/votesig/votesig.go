@@ -28,6 +28,7 @@ package votesig
 
 import (
 	"bytes"
+	"sync"
 
 	"ibcbench/internal/tendermint/types"
 	"ibcbench/internal/valkey"
@@ -58,10 +59,13 @@ type Stats struct {
 	Size int
 }
 
-// Cache is one chain's shared vote-verification engine. It is not
-// goroutine-safe: like the consensus engine that owns it, it runs on the
-// simulation's single scheduler goroutine.
+// Cache is one chain's shared vote-verification engine. The consensus
+// engine that owns it mutates it on the chain's scheduler; under
+// parallel runs other chains' light-client paths consult it through
+// read-only verifiers (ReadOnly), so the admitted map is guarded by a
+// read/write lock.
 type Cache struct {
+	mu       sync.RWMutex
 	chainID  string
 	admitted map[key][]byte // verified tuple -> admitted signature bytes
 	buf      []byte         // pooled sign-bytes buffer (AppendVoteSignBytes)
@@ -93,14 +97,19 @@ func (c *Cache) VerifyVote(chainID string, v *types.Vote, pub valkey.PubKey) boo
 		return c.VerifyDirect(chainID, v, pub)
 	}
 	k := keyOf(v)
-	if sig, ok := c.admitted[k]; ok && bytes.Equal(sig, v.Signature) {
+	c.mu.RLock()
+	sig, ok := c.admitted[k]
+	c.mu.RUnlock()
+	if ok && bytes.Equal(sig, v.Signature) {
 		c.stats.Hits++
 		return true
 	}
 	if !c.fullVerify(chainID, v, pub) {
 		return false
 	}
+	c.mu.Lock()
 	c.admitted[k] = append([]byte(nil), v.Signature...)
+	c.mu.Unlock()
 	return true
 }
 
@@ -127,16 +136,52 @@ func (c *Cache) fullVerify(chainID string, v *types.Vote, pub valkey.PubKey) boo
 // heights no longer arrive, and a pruned commit signature merely falls
 // back to a full verification in the light-client path.
 func (c *Cache) PruneBelow(h int64) {
+	c.mu.Lock()
 	for k := range c.admitted {
 		if k.Height < h {
 			delete(c.admitted, k)
 		}
 	}
+	c.mu.Unlock()
 }
 
 // Stats snapshots the verification counters.
 func (c *Cache) Stats() Stats {
 	s := c.stats
+	c.mu.RLock()
 	s.Size = len(c.admitted)
+	c.mu.RUnlock()
 	return s
+}
+
+// ReadOnly is a cross-chain view of the cache for light-client paths
+// that run on another chain's partition: a hit requires an admitted
+// byte-identical signature (lock-guarded read), a miss falls back to a
+// full ed25519 check against a private sign-bytes buffer. It never
+// admits tuples and never touches the owner's counters, so the owning
+// engine's verification stats stay single-writer.
+type ReadOnly struct {
+	c   *Cache
+	buf []byte
+}
+
+// ReadOnly derives a read-only verifier. Each consumer (one keeper's
+// counterparty registration) must hold its own instance: the verifier
+// itself is single-threaded, only its view of the cache is shared.
+func (c *Cache) ReadOnly() *ReadOnly { return &ReadOnly{c: c} }
+
+// VerifyVote implements types.VoteVerifier without mutating the cache.
+func (r *ReadOnly) VerifyVote(chainID string, v *types.Vote, pub valkey.PubKey) bool {
+	if chainID == r.c.chainID {
+		k := keyOf(v)
+		r.c.mu.RLock()
+		sig, ok := r.c.admitted[k]
+		hit := ok && bytes.Equal(sig, v.Signature)
+		r.c.mu.RUnlock()
+		if hit {
+			return true
+		}
+	}
+	r.buf = types.AppendVoteSignBytes(r.buf[:0], chainID, v)
+	return pub.Verify(r.buf, v.Signature)
 }

@@ -55,6 +55,14 @@ type DeployConfig struct {
 	// per-deployment — sweeps run seeds concurrently — so experiment
 	// drivers leave it nil and only single-run trace exports set it.
 	Obs *obs.Obs
+	// ParallelWorkers > 1 runs the simulation on the conservative
+	// parallel scheduler: one partition per chain (its consensus actors,
+	// app, RPC nodes, attached relayers and workload drivers), advancing
+	// in lockstep windows bounded by the minimum cross-partition network
+	// latency. Results are byte-identical to the serial scheduler. The
+	// deployment falls back to serial when it has a single chain, full
+	// proofs, or no usable latency lookahead.
+	ParallelWorkers int
 }
 
 // Link is one deployed edge: the seeded channel pair, its relayers, its
@@ -119,12 +127,12 @@ func (l *Link) Reverse() *workload.Generator {
 
 func (l *Link) newGenerator(src, dst *chain.Chain, channel, dir string) *workload.Generator {
 	d := l.dep
-	g := workload.NewOnChannel(d.Sched, d.RNG, src, dst, channel,
+	g := workload.NewOnChannel(d.schedFor(d.chainIndex(src)), d.RNG, src, dst, channel,
 		l.Relayers[0].EndpointRPC(src.ID), l.Tracker)
 	// Namespace accounts per edge+direction: several generators can share
 	// one source chain (a hub) without sequence clashes.
 	g.AccountPrefix = fmt.Sprintf("user-e%d%s", l.Index, dir)
-	d.placeWithChain(g.Host(), src)
+	d.attachDriver(g, src, dst)
 	return g
 }
 
@@ -141,12 +149,26 @@ func (l *Link) newRouteGenerator(from, route, hop int) *workload.Generator {
 	if d.Chains[from] != l.Pair.A {
 		src, dst, channel = l.Pair.B, l.Pair.A, l.Pair.ChannelBA
 	}
-	g := workload.NewOnChannel(d.Sched, d.RNG, src, dst, channel,
+	g := workload.NewOnChannel(d.schedFor(d.chainIndex(src)), d.RNG, src, dst, channel,
 		l.Relayers[0].EndpointRPC(src.ID), l.Tracker)
 	g.AccountPrefix = fmt.Sprintf("route-r%d-h%d", route, hop)
-	d.placeWithChain(g.Host(), src)
+	d.attachDriver(g, src, dst)
 	l.legGens = append(l.legGens, g)
 	return g
+}
+
+// attachDriver wires a freshly created workload driver into the source
+// chain's event partition and region, and routes its destination-height
+// view (packet timeout stamping) through delivered block frames so the
+// value never depends on another partition's instantaneous state. The
+// frame subscription runs identically under the serial scheduler, keeping
+// the two modes' event streams byte-identical.
+func (d *Deployment) attachDriver(g *workload.Generator, src, dst *chain.Chain) {
+	if d.par != nil {
+		d.par.AssignHost(string(g.Host()), d.chainIndex(src))
+	}
+	g.ObserveDestHeight(dst.RPC)
+	d.placeWithChain(g.Host(), src)
 }
 
 // ChannelFrom reports the channel identifier on the `from` side of the
@@ -171,8 +193,44 @@ type Deployment struct {
 	// Obs is the deployment's observability bundle (nil = disabled).
 	Obs *obs.Obs
 
+	// par is the conservative parallel runner (nil = serial). When set,
+	// Sched is its global scheduler and every chain cluster lives on its
+	// own partition scheduler.
+	par *sim.Parallel
+
 	// regions holds each chain's resolved region (empty without geo).
 	regions []geo.Region
+}
+
+// Parallel reports whether the deployment runs on the parallel scheduler.
+func (d *Deployment) Parallel() bool { return d.par != nil }
+
+// schedFor returns the scheduler owning chain i's event partition: the
+// shared scheduler when serial, the chain's private partition otherwise.
+func (d *Deployment) schedFor(i int) *sim.Scheduler {
+	if d.par == nil {
+		return d.Sched
+	}
+	return d.par.Partition(i)
+}
+
+// chainIndex resolves a deployed chain back to its node index.
+func (d *Deployment) chainIndex(c *chain.Chain) int {
+	for i, have := range d.Chains {
+		if have == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalProcessed sums executed events across every scheduler of the
+// deployment (global plus partitions under the parallel runner).
+func (d *Deployment) TotalProcessed() uint64 {
+	if d.par != nil {
+		return d.par.Processed()
+	}
+	return d.Sched.Processed()
 }
 
 // RegionOf reports the region chain i was placed in ("" without geo).
@@ -237,10 +295,23 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 	if perEdge <= 0 {
 		perEdge = 1
 	}
+	// The parallel runner needs a positive latency lookahead; decide
+	// before constructing the network so the deployment consumes the
+	// seed RNG identically in both modes.
+	var par *sim.Parallel
+	if cfg.ParallelWorkers > 1 && len(t.Chains) > 1 && !cfg.FullProofs && parallelLookahead(cfg) > 0 {
+		par = sim.NewParallel(len(t.Chains), cfg.ParallelWorkers, 0)
+	}
 	sched := sim.NewScheduler()
+	if par != nil {
+		sched = par.Global()
+	}
 	rng := sim.NewRNG(cfg.Seed)
 	network := netem.New(sched, rng, cfg.Network)
-	d := &Deployment{Topology: t, Sched: sched, Net: network, RNG: rng, Obs: cfg.Obs}
+	if par != nil {
+		network.SetPartitioner(par)
+	}
+	d := &Deployment{Topology: t, Sched: sched, Net: network, RNG: rng, Obs: cfg.Obs, par: par}
 	cfg.Obs.Bind(sched.Now)
 	if cfg.Geo != nil {
 		asg, err := geo.NewAssignment(cfg.Geo)
@@ -265,7 +336,11 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 		if vals == 0 {
 			vals = cfg.Validators
 		}
-		c := chain.New(sched, network, chain.Config{
+		csched := sched
+		if par != nil {
+			csched = par.Partition(i)
+		}
+		c := chain.New(csched, network, chain.Config{
 			ChainID:             t.ChainID(i),
 			Validators:          vals,
 			FullProofs:          cfg.FullProofs,
@@ -283,6 +358,15 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 			// Relayer full nodes attach to the chain later; place them in
 			// the chain's region as they appear.
 			c.OnHost(place)
+		}
+		if par != nil {
+			// Every chain host — validators, the primary full node and
+			// full nodes attached later — lives in the chain's partition.
+			i := i
+			for _, h := range c.Hosts() {
+				par.AssignHost(string(h), i)
+			}
+			c.OnHost(func(h netem.Host) { par.AssignHost(string(h), i) })
 		}
 		d.Chains = append(d.Chains, c)
 	}
@@ -316,15 +400,19 @@ func Deploy(t Topology, cfg DeployConfig) (*Deployment, error) {
 					rcfg.ClearIntervalBlocks = 1
 				}
 			}
-			r := relayer.New(sched, rng, rcfg, l.Pair)
+			// Even ordinals sit with side A, odd ones (and the standby)
+			// with side B — a partitioned primary leaves a reachable
+			// standby. The same side choice places the relayer's host in
+			// that chain's region and event partition.
+			side := e.A
+			if j < 0 || j%2 == 1 {
+				side = e.B
+			}
+			r := relayer.New(d.schedFor(side), rng, rcfg, l.Pair)
+			if par != nil {
+				par.AssignHost(string(r.Host()), side)
+			}
 			if d.Geo != nil {
-				// Even ordinals sit with side A, odd ones (and the
-				// standby) with side B — a partitioned primary leaves a
-				// reachable standby.
-				side := e.A
-				if j < 0 || j%2 == 1 {
-					side = e.B
-				}
 				_ = d.Geo.PlaceAndApply(d.Net, r.Host(), d.regions[side])
 			}
 			return r
@@ -360,9 +448,49 @@ func (d *Deployment) Start() {
 	}
 }
 
-// Run drives the simulation to the virtual deadline.
+// Run drives the simulation to the virtual deadline. Under the parallel
+// runner the exact cross-partition latency floor is computed here — every
+// link profile exists by now — and bounds each synchronization window.
 func (d *Deployment) Run(until time.Duration) error {
+	if d.par != nil {
+		d.par.SetHorizon(d.Net.MinCrossPartitionLatency(d.par.PartitionOf))
+		return d.par.RunUntil(until)
+	}
 	return d.Sched.RunUntil(until)
+}
+
+// parallelLookahead is the deploy-time conservative lower bound on every
+// cross-partition delivery latency: the network default and, with a geo
+// model, every region path including the intra-region one (two chains may
+// share a region). Each base shrinks by 4 relative standard deviations —
+// sim.RNG.Jitter truncates there — and chaos overlays only add latency.
+// The exact (larger) per-link bound replaces it at Run time.
+func parallelLookahead(cfg DeployConfig) time.Duration {
+	eff := func(base time.Duration, jitter float64) time.Duration {
+		if jitter < 0 {
+			jitter = cfg.Network.JitterRelStd
+		}
+		if jitter <= 0 {
+			return base
+		}
+		return time.Duration(float64(base) * (1 - 4*jitter))
+	}
+	min := eff(cfg.Network.OneWayLatency, cfg.Network.JitterRelStd)
+	if cfg.Geo != nil {
+		if e := eff(cfg.Geo.Intra.OneWay, cfg.Geo.Intra.Jitter); e < min {
+			min = e
+		}
+		for _, a := range cfg.Geo.Regions {
+			for _, b := range cfg.Geo.Regions {
+				if p, ok := cfg.Geo.Path(a, b); ok {
+					if e := eff(p.OneWay, p.Jitter); e < min {
+						min = e
+					}
+				}
+			}
+		}
+	}
+	return min
 }
 
 // Chain returns the deployed chain at node index i.

@@ -43,6 +43,10 @@ type Failover struct {
 	standby *relayer.Relayer
 	host    netem.Host
 	window  time.Duration
+	// sched owns the supervisor's events: the scheduler of the standby
+	// side's partition (the standby always sits with side B), so probes
+	// and pongs run on the clock that owns the supervisor's host.
+	sched *sim.Scheduler
 
 	lastPong  time.Duration
 	active    bool
@@ -65,16 +69,17 @@ func newFailover(d *Deployment, l *Link, window time.Duration) *Failover {
 		standby: l.Standby,
 		host:    l.Standby.Host(),
 		window:  window,
+		sched:   d.schedFor(l.Spec.B),
 	}
 	f.downtime.Name = "downtime"
 	interval := simconf.MinBlockInterval / 5
-	d.Sched.Tick(interval, func(*sim.Ticker) { f.probe() })
+	f.sched.Tick(interval, func(*sim.Ticker) { f.probe() })
 	return f
 }
 
 // probe sends one health ping and evaluates the detection window.
 func (f *Failover) probe() {
-	now := f.dep.Sched.Now()
+	now := f.sched.Now()
 	f.dep.Net.Send(f.host, f.primary.Host(), func() {
 		if f.primary.Stopped() {
 			return // crashed process: no pong
@@ -101,7 +106,7 @@ func (f *Failover) probe() {
 
 // pong records a healthy primary, closing any open outage window.
 func (f *Failover) pong() {
-	now := f.dep.Sched.Now()
+	now := f.sched.Now()
 	f.lastPong = now
 	if f.down {
 		f.downtime.Add(now - f.downSince)
@@ -125,7 +130,7 @@ func (f *Failover) Report() *FailoverReport {
 		Standby:   f.standby.Stats(),
 	}
 	if f.down {
-		rep.Downtime.Add(f.dep.Sched.Now() - f.downSince)
+		rep.Downtime.Add(f.sched.Now() - f.downSince)
 	}
 	return rep
 }

@@ -172,10 +172,16 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 		}
 		rr := &routeRun{route: rt, idx: i}
 		runs = append(runs, rr)
+		// Route drivers run on the global scheduler. Staggered off the
+		// constant-rate submission grid (w·block+1ms) so a route start
+		// never shares a timestamp with partition-local workload events —
+		// cross-scheduler ties at one instant are the only place the
+		// parallel runner's dispatch order could diverge from serial.
+		startAt := 1500*time.Microsecond + time.Duration(i)*time.Microsecond
 		if rt.Forwarded {
-			d.Sched.At(time.Millisecond, func() { d.startForwardedRoute(rr) })
+			d.Sched.At(startAt, func() { d.startForwardedRoute(rr) })
 		} else {
-			d.Sched.At(time.Millisecond, func() { d.startLeg(rr) })
+			d.Sched.At(startAt, func() { d.startLeg(rr) })
 		}
 	}
 	var inj *chaos.Injector

@@ -213,5 +213,5 @@ func foldMetrics(d *Deployment) {
 	}
 	reg.SetCounter("net/sent", d.Net.Sent())
 	reg.SetCounter("net/dropped", d.Net.Dropped())
-	reg.SetCounter("sim/events_processed", d.Sched.Processed())
+	reg.SetCounter("sim/events_processed", d.TotalProcessed())
 }
