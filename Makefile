@@ -1,0 +1,39 @@
+# Developer entry points. The rebaseline targets mirror the CI jobs
+# byte for byte — refresh a committed baseline with them whenever an
+# intentional change moves the gated metrics, and commit the result.
+
+GO ?= go
+
+.PHONY: test check rebaseline-virt rebaseline-bench serve
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -short ./...
+
+# Refresh VIRT_baseline.json — the armed 0.1% virtual-metric gate.
+# Must match the "Virtual-metric regression gate" CI step exactly:
+# virtual-clock results are deterministic per seed, so the fresh file
+# should differ from the committed one only when simulation behavior
+# intentionally moved.
+rebaseline-virt:
+	$(GO) run ./cmd/ibcbench -experiment topo -topology hub:3 -rate 5 -seeds 2 -windows 3 -out VIRT_baseline.json
+
+# Refresh BENCH_baseline.json — the warn-only 30% wall-clock trajectory.
+# Mirrors the CI bench job's "Hot-path benchmarks" step; run on a quiet
+# machine.
+rebaseline-bench:
+	set -o pipefail; \
+	$(GO) test -run '^$$' -bench 'BenchmarkVoteFanout|BenchmarkStateCommit|BenchmarkEventDecode|BenchmarkTracerOverhead|BenchmarkRelayerHubScan|BenchmarkMeshSerialVsParallel' -benchtime=3x -count=3 . | tee bench_raw.txt; \
+	$(GO) test -run '^$$' -bench 'BenchmarkNetemSend' -benchtime=3x -count=3 ./internal/netem | tee -a bench_raw.txt; \
+	$(GO) test -run '^$$' -bench 'BenchmarkQuorumTally' -benchtime=100x -count=3 ./internal/tendermint/consensus | tee -a bench_raw.txt
+	$(GO) run ./cmd/ibcbench -bench2json bench_raw.txt -out BENCH_baseline.json
+	rm -f bench_raw.txt
+
+# Local experiment service over the default store directory.
+serve:
+	$(GO) run ./cmd/ibcbench serve -store ibcbench-store -addr 127.0.0.1:8321

@@ -1,5 +1,7 @@
 // Result-file diffing: compare two -out JSON documents metric by metric
-// for cross-PR regression tracking of reproduced figures.
+// for cross-PR regression tracking of reproduced figures. The flatten
+// and config-header comparison primitives live in internal/resultdiff,
+// shared with the experiment store's run-compatibility check.
 package main
 
 import (
@@ -9,7 +11,8 @@ import (
 	"math"
 	"os"
 	"sort"
-	"strings"
+
+	"ibcbench/internal/resultdiff"
 )
 
 // runDiff loads two -out result files and prints per-metric deltas.
@@ -29,14 +32,14 @@ func runDiff(oldPath, newPath string, failPct float64, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	mismatched := warnConfigMismatch(oldDoc, newDoc, w)
-	oldFlat := flatten("", oldDoc)
-	newFlat := flatten("", newDoc)
+	cfgDiffs := warnConfigMismatch(oldDoc, newDoc, w)
+	oldFlat := resultdiff.Flatten("", oldDoc)
+	newFlat := resultdiff.Flatten("", newDoc)
 	// The config header is compared (and warned about) above; keep it
 	// out of the metric diff so config-only differences don't inflate
 	// the changed-metric count regression gates key on.
-	dropConfig(oldFlat)
-	dropConfig(newFlat)
+	resultdiff.DropConfig(oldFlat)
+	resultdiff.DropConfig(newFlat)
 
 	var changed, added, removed []string
 	unchanged := 0
@@ -102,8 +105,9 @@ func runDiff(oldPath, newPath string, failPct float64, w io.Writer) error {
 	fmt.Fprintf(w, "%d changed, %d added, %d removed, %d unchanged\n",
 		len(changed), len(added), len(removed), unchanged)
 	if len(exceeded) > 0 {
-		if mismatched {
-			fmt.Fprintf(w, "fail-on-change gate skipped: config headers mismatch (deltas reflect the config change)\n")
+		if len(cfgDiffs) > 0 {
+			fmt.Fprintf(w, "fail-on-change gate skipped: config headers mismatch on %s (deltas reflect the config change)\n",
+				resultdiff.FieldNames(cfgDiffs))
 			return nil
 		}
 		for _, m := range exceeded {
@@ -115,66 +119,22 @@ func runDiff(oldPath, newPath string, failPct float64, w io.Writer) error {
 }
 
 // warnConfigMismatch compares the documents' "config" headers (topology,
-// region preset, netem config, seed, ...) and warns when they disagree:
-// a metric diff across different configurations measures the config
-// change, not a regression. Documents without a header (pre-header
-// results) are compared silently. The return reports whether the headers
-// mismatched (which disarms the fail-on-change gate).
-func warnConfigMismatch(oldDoc, newDoc any, w io.Writer) bool {
-	oldCfg := configHeader(oldDoc)
-	newCfg := configHeader(newDoc)
-	if oldCfg == nil || newCfg == nil {
-		return false
+// region preset, netem config, seed, ...) field by field and warns when
+// they disagree, naming each differing field: a metric diff across
+// different configurations measures the config change, not a
+// regression. Documents without a header (pre-header results) are
+// compared silently. The returned field diffs disarm the fail-on-change
+// gate when non-empty.
+func warnConfigMismatch(oldDoc, newDoc any, w io.Writer) []resultdiff.FieldDiff {
+	diffs := resultdiff.ConfigDiff(resultdiff.ConfigHeader(oldDoc), resultdiff.ConfigHeader(newDoc))
+	if len(diffs) == 0 {
+		return nil
 	}
-	oldFlat := flatten("config", oldCfg)
-	newFlat := flatten("config", newCfg)
-	var mismatched []string
-	for path, ov := range oldFlat {
-		if nv, ok := newFlat[path]; ok && ov != nv {
-			mismatched = append(mismatched, fmt.Sprintf("%s: %v -> %v", path, ov, nv))
-		}
-	}
-	for path := range oldFlat {
-		if _, ok := newFlat[path]; !ok {
-			mismatched = append(mismatched, fmt.Sprintf("%s: only in old", path))
-		}
-	}
-	for path := range newFlat {
-		if _, ok := oldFlat[path]; !ok {
-			mismatched = append(mismatched, fmt.Sprintf("%s: only in new", path))
-		}
-	}
-	if len(mismatched) == 0 {
-		return false
-	}
-	sort.Strings(mismatched)
 	fmt.Fprintln(w, "WARNING: result files were produced with different configurations; metric deltas below reflect the config change, not a regression:")
-	for _, m := range mismatched {
-		fmt.Fprintf(w, "  %s\n", m)
+	for _, d := range diffs {
+		fmt.Fprintf(w, "  config.%s\n", d)
 	}
-	return true
-}
-
-// dropConfig removes the config header's flattened leaves from a metric
-// map.
-func dropConfig(flat map[string]any) {
-	for path := range flat {
-		if path == "config" || strings.HasPrefix(path, "config.") {
-			delete(flat, path)
-		}
-	}
-}
-
-func configHeader(doc any) map[string]any {
-	m, ok := doc.(map[string]any)
-	if !ok {
-		return nil
-	}
-	cfg, ok := m["config"].(map[string]any)
-	if !ok {
-		return nil
-	}
-	return cfg
+	return diffs
 }
 
 func loadResults(path string) (any, error) {
@@ -187,38 +147,6 @@ func loadResults(path string) (any, error) {
 		return nil, fmt.Errorf("diff: %s: %w", path, err)
 	}
 	return doc, nil
-}
-
-// flatten walks the JSON document into dotted leaf paths: maps become
-// "a.b", arrays "a[0]". Leaves are numbers, strings, bools and nulls.
-func flatten(prefix string, v any) map[string]any {
-	out := make(map[string]any)
-	switch t := v.(type) {
-	case map[string]any:
-		keys := make([]string, 0, len(t))
-		for k := range t {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			p := k
-			if prefix != "" {
-				p = prefix + "." + k
-			}
-			for kk, vv := range flatten(p, t[k]) {
-				out[kk] = vv
-			}
-		}
-	case []any:
-		for i, e := range t {
-			for kk, vv := range flatten(fmt.Sprintf("%s[%d]", prefix, i), e) {
-				out[kk] = vv
-			}
-		}
-	default:
-		out[prefix] = v
-	}
-	return out
 }
 
 func fmtNum(f float64) string {

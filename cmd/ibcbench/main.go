@@ -24,6 +24,8 @@
 //	ibcbench -trace trace.json -topology hub:3     # Perfetto trace of one run
 //	ibcbench -trace-summary -topology hub:3        # top spans by total/self time
 //	ibcbench -validate-trace trace.json            # structural trace check
+//	ibcbench -experiment topo -store runs/         # archive the result document
+//	ibcbench serve -store runs/ -addr :8321        # HTTP dashboard over the store
 //
 // Sweeps fan (config, seed) executions out over a worker pool
 // (-workers, default GOMAXPROCS); results are identical to serial runs.
@@ -55,6 +57,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], os.Stdout)
+	}
 	fs := flag.NewFlagSet("ibcbench", flag.ContinueOnError)
 	var (
 		exp        = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|forward|failover|votescale|meshscale|all")
@@ -70,6 +75,7 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
 		parallel   = fs.Int("parallel", 0, "intra-run partitioned workers: split each simulation's chains over N OS workers with byte-identical results (0/1 = serial scheduler); also the worker count of -experiment meshscale")
 		out        = fs.String("out", "", "write every experiment's result as JSON to this file (cross-PR regression tracking)")
+		storeDir   = fs.String("store", "", "archive the result document (the -out payload) into this experiment-store directory; browse it with `ibcbench serve -store DIR`")
 		diffOld    = fs.String("diff", "", "compare this -out result file against the positional argument and exit")
 		failPct    = fs.Float64("fail-on-change", -1, "with -diff: exit nonzero when any metric moves beyond this tolerance in percent (negative = report only; skipped when the files' config headers mismatch)")
 		benchTxt   = fs.String("bench2json", "", "convert `go test -bench` output in this file to a JSON metrics document (written to -out, default stdout) and exit")
@@ -111,13 +117,27 @@ func run(args []string) error {
 	if len(valSizes) > 0 {
 		opt.Validators = valSizes[0]
 	}
+	// The config header identifies what produced a result document;
+	// -diff warns field by field when comparing results whose headers
+	// disagree, and the store's trend/regression analysis treats runs
+	// with differing headers as incompatible trajectories.
+	cfgHeader := func() map[string]any {
+		return map[string]any{
+			"experiment": *exp, "seeds": *seeds, "windows": *windows,
+			"transfers": *transfers, "seed": *seed, "topology": *topology,
+			"rate": *rate, "regions": *regions, "forwarding": *forwarding,
+			"validators": *validators, "parallel": *parallel,
+			"netem": netem.DefaultWAN(),
+		}
+	}
 	if *tracePath != "" || *traceSum {
-		return runTrace(opt, *topology, *rate, *forwarding, *seed, *tracePath, *traceSum, os.Stdout)
+		return runTrace(opt, *topology, *rate, *forwarding, *seed, *tracePath, *traceSum,
+			*storeDir, cfgHeader(), os.Stdout)
 	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	report := map[string]any{}
 	record := func(key string, v any) {
-		if *out != "" {
+		if *out != "" || *storeDir != "" {
 			report[key] = v
 		}
 	}
@@ -277,25 +297,24 @@ func run(args []string) error {
 			res.Stuck, pct(res.Stuck, res.Transfers))
 		fmt.Println("paper: 2.5% completed / 15.7% timed out / 81.8% stuck")
 	}
-	if *out != "" {
-		// The config header identifies what produced the document; -diff
-		// warns when comparing results whose configs disagree.
-		report["config"] = map[string]any{
-			"experiment": *exp, "seeds": *seeds, "windows": *windows,
-			"transfers": *transfers, "seed": *seed, "topology": *topology,
-			"rate": *rate, "regions": *regions, "forwarding": *forwarding,
-			"validators": *validators, "parallel": *parallel,
-			"netem": netem.DefaultWAN(),
-		}
+	if *out != "" || *storeDir != "" {
+		report["config"] = cfgHeader()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return fmt.Errorf("marshal results: %w", err)
 		}
 		data = append(data, '\n')
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			return fmt.Errorf("write %s: %w", *out, err)
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", *out, err)
+			}
+			fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
 		}
-		fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
+		if *storeDir != "" {
+			if err := archiveRun(*storeDir, "experiment", data, nil, false, os.Stderr); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,76 @@
+// The experiment-service entry points: `ibcbench serve` runs the HTTP
+// dashboard over a persistent store, and `-store DIR` on a normal run
+// archives the result document in place (no server needed — serve can
+// be pointed at the same directory later).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ibcbench/internal/experiments"
+	"ibcbench/internal/serve"
+	"ibcbench/internal/store"
+)
+
+// runServe starts the experiment service over a store directory:
+//
+//	ibcbench serve [-store DIR] [-addr HOST:PORT]
+func runServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ibcbench serve", flag.ContinueOnError)
+	dir := fs.String("store", "ibcbench-store", "experiment store directory (created if missing)")
+	addr := fs.String("addr", "127.0.0.1:8321", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	fmt.Fprintf(w, "ibcbench serve: %d archived run(s) in %s — http://%s/\n", len(st.Runs()), st.Dir(), *addr)
+	return http.ListenAndServe(*addr, serve.New(st))
+}
+
+// archiveRun ingests one result document (and optionally its trace)
+// into a local store. The commit comes from CaptureRunMeta and the
+// timestamp from the wall clock, so every CLI invocation lands as a
+// distinct run while re-posting an already-archived document through
+// /api/ingest stays idempotent (the poster supplies the stored
+// timestamp there).
+func archiveRun(dir, kind string, payload, trace []byte, traceValid bool, w io.Writer) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	meta := experiments.CaptureRunMeta()
+	// Nanosecond stamps keep back-to-back same-seed invocations distinct
+	// — virtual-clock results are byte-identical, so a coarser stamp
+	// would dedupe them into one run.
+	m, created, err := st.Ingest(kind, meta.Commit, time.Now().UTC().Format(time.RFC3339Nano), payload)
+	if err != nil {
+		return fmt.Errorf("archive in %s: %w", dir, err)
+	}
+	if !created {
+		fmt.Fprintf(w, "store: run %s already archived in %s\n", m.ID, dir)
+		return nil
+	}
+	if trace != nil {
+		if m, err = st.AttachTrace(m.ID, trace, traceValid); err != nil {
+			return fmt.Errorf("attach trace to %s: %w", m.ID, err)
+		}
+	}
+	badge := ""
+	if m.HasTrace() {
+		badge = " + trace"
+		if !traceValid {
+			badge = " + trace (invalid)"
+		}
+	}
+	fmt.Fprintf(w, "store: archived run %s (seq %d)%s in %s\n", m.ID, m.Seq, badge, dir)
+	return nil
+}

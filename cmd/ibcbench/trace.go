@@ -6,21 +6,27 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"time"
 
 	"ibcbench/internal/experiments"
 	"ibcbench/internal/obs"
+	"ibcbench/internal/topo"
+	"ibcbench/internal/tracecheck"
 )
 
 // runTrace executes one seed of the topo scenario with observability
 // attached, optionally writes the Chrome trace and/or prints the span
 // summary, and renders the run result like a plain topo run would.
+// With storeDir the result is archived (provenance-stamped) with the
+// trace attached, validated and badged exactly like a server-side
+// ingest.
 func runTrace(opt experiments.Options, topology string, rate int, forwarded bool,
-	seed int64, tracePath string, summary bool, w io.Writer) error {
+	seed int64, tracePath string, summary bool, storeDir string, cfg map[string]any, w io.Writer) error {
 	sc, err := experiments.BuildTopologyScenario(opt, topology, rate, forwarded)
 	if err != nil {
 		return err
@@ -32,17 +38,15 @@ func runTrace(opt experiments.Options, topology string, rate int, forwarded bool
 		return err
 	}
 	res.Render(w)
+	var trace bytes.Buffer
+	if tracePath != "" || storeDir != "" {
+		if err := o.Tracer.WriteChrome(&trace); err != nil {
+			return fmt.Errorf("export trace: %w", err)
+		}
+	}
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", tracePath, err)
-		}
-		if err := o.Tracer.WriteChrome(f); err != nil {
-			f.Close()
+		if err := os.WriteFile(tracePath, trace.Bytes(), 0o644); err != nil {
 			return fmt.Errorf("write %s: %w", tracePath, err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("close %s: %w", tracePath, err)
 		}
 		fmt.Fprintf(os.Stderr, "trace (%d events) written to %s\n", o.Tracer.Len(), tracePath)
 	}
@@ -50,93 +54,39 @@ func runTrace(opt experiments.Options, topology string, rate int, forwarded bool
 		fmt.Fprintln(w)
 		obs.WriteSummary(w, o.Tracer.Summary(), 20)
 	}
+	if storeDir != "" {
+		meta := experiments.CaptureRunMeta()
+		res.Provenance = &topo.Provenance{
+			Commit:    meta.Commit,
+			GoVersion: meta.GoVersion,
+			Time:      time.Now().UTC().Format(time.RFC3339),
+		}
+		payload, err := json.MarshalIndent(map[string]any{"config": cfg, "result": res}, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal traced result: %w", err)
+		}
+		_, verr := tracecheck.Validate(trace.Bytes())
+		return archiveRun(storeDir, "trace", payload, trace.Bytes(), verr == nil, os.Stderr)
+	}
 	return nil
 }
 
-// traceEvent mirrors the subset of the Chrome trace-event schema the
-// validator checks.
-type traceEvent struct {
-	Name  string  `json:"name"`
-	Phase string  `json:"ph"`
-	TS    float64 `json:"ts"`
-	Dur   float64 `json:"dur"`
-	Cat   string  `json:"cat"`
-	ID    string  `json:"id"`
-	PID   int     `json:"pid"`
-	TID   int     `json:"tid"`
-}
-
-// runValidateTrace structurally validates an exported trace: the file
-// must parse as a trace-event document, complete spans need non-negative
-// timestamps and durations, and every async trace must open and close in
-// order on each (cat, id) pair.
+// runValidateTrace structurally validates an exported trace via
+// tracecheck.Validate: the file must parse as a trace-event document,
+// complete spans need non-negative timestamps and durations, and every
+// async trace must open and close in order on each (cat, id) pair. The
+// first violation exits nonzero with the offending event's line and
+// byte offset — the exporter writes one event per line, so the line
+// number points at the exact event.
 func runValidateTrace(path string, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	var doc struct {
-		DisplayTimeUnit string       `json:"displayTimeUnit"`
-		TraceEvents     []traceEvent `json:"traceEvents"`
+	stats, err := tracecheck.Validate(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return fmt.Errorf("%s: not a trace-event document: %w", path, err)
-	}
-	if len(doc.TraceEvents) == 0 {
-		return fmt.Errorf("%s: no trace events", path)
-	}
-	type asyncKey struct{ cat, id string }
-	open := map[asyncKey]int{}
-	counts := map[string]int{}
-	for i, ev := range doc.TraceEvents {
-		counts[ev.Phase]++
-		switch ev.Phase {
-		case "X":
-			if ev.TS < 0 || ev.Dur < 0 {
-				return fmt.Errorf("%s: event %d (%s): negative ts/dur", path, i, ev.Name)
-			}
-		case "i":
-			if ev.TS < 0 {
-				return fmt.Errorf("%s: event %d (%s): negative ts", path, i, ev.Name)
-			}
-		case "b", "n", "e":
-			if ev.ID == "" {
-				return fmt.Errorf("%s: event %d (%s): async event without id", path, i, ev.Name)
-			}
-			k := asyncKey{ev.Cat, ev.ID}
-			switch ev.Phase {
-			case "b":
-				open[k]++
-			case "n":
-				if open[k] == 0 {
-					return fmt.Errorf("%s: event %d (%s): async instant outside open span %v", path, i, ev.Name, k)
-				}
-			case "e":
-				if open[k] == 0 {
-					return fmt.Errorf("%s: event %d (%s): async end without begin %v", path, i, ev.Name, k)
-				}
-				open[k]--
-			}
-		case "M":
-			// metadata: no timing constraints
-		default:
-			return fmt.Errorf("%s: event %d (%s): unknown phase %q", path, i, ev.Name, ev.Phase)
-		}
-	}
-	for k, n := range open {
-		if n != 0 {
-			return fmt.Errorf("%s: async trace %v left %d span(s) open", path, k, n)
-		}
-	}
-	phases := make([]string, 0, len(counts))
-	for ph := range counts {
-		phases = append(phases, ph)
-	}
-	sort.Strings(phases)
-	fmt.Fprintf(w, "%s: OK (%d events:", path, len(doc.TraceEvents))
-	for _, ph := range phases {
-		fmt.Fprintf(w, " %s=%d", ph, counts[ph])
-	}
-	fmt.Fprintln(w, ")")
+	fmt.Fprintf(w, "%s: OK (%d events: %s)\n", path, stats.Events, stats.PhaseList())
 	return nil
 }

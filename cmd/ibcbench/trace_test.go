@@ -18,7 +18,7 @@ func TestTraceExportRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	var out bytes.Buffer
 	opt := experiments.Options{Seeds: 1, Windows: 2}
-	if err := runTrace(opt, "hub:3", 3, false, 7, path, true, &out); err != nil {
+	if err := runTrace(opt, "hub:3", 3, false, 7, path, true, "", nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	var check bytes.Buffer

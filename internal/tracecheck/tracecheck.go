@@ -1,0 +1,232 @@
+// Package tracecheck structurally validates Chrome trace-event
+// documents (the `-trace` export format): JSON shape, span timing, and
+// async begin/end balance. The checker streams the traceEvents array
+// with a json.Decoder so a violation is reported with the event's
+// index, line and byte offset — the exporter writes one event per line,
+// making the line number directly actionable. It is shared by the CLI's
+// `-validate-trace` command and the experiment service, which validates
+// every trace at ingest time and badges invalid ones.
+package tracecheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Event mirrors the subset of the Chrome trace-event schema the
+// validator checks.
+type Event struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	Cat   string  `json:"cat"`
+	ID    string  `json:"id"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// Error is one structural violation, located at the first offending
+// event. Index is the event's ordinal in traceEvents (-1 when the
+// violation is not tied to a single event), Line/Offset locate it in
+// the document bytes (1-based line, 0-based byte offset; 0/-1 when
+// unknown).
+type Error struct {
+	Index  int
+	Line   int
+	Offset int64
+	Name   string
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	loc := ""
+	if e.Line > 0 {
+		loc = fmt.Sprintf(" at line %d (offset %d)", e.Line, e.Offset)
+	}
+	if e.Index >= 0 {
+		return fmt.Sprintf("event %d (%s)%s: %s", e.Index, e.Name, loc, e.Msg)
+	}
+	return e.Msg + loc
+}
+
+// Stats summarizes a valid document.
+type Stats struct {
+	Events int
+	Phases map[string]int
+}
+
+// PhaseList renders the per-phase counts sorted by phase ("X=12 b=3").
+func (s Stats) PhaseList() string {
+	phases := make([]string, 0, len(s.Phases))
+	for ph := range s.Phases {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	var buf bytes.Buffer
+	for i, ph := range phases {
+		if i > 0 {
+			buf.WriteByte(' ')
+		}
+		fmt.Fprintf(&buf, "%s=%d", ph, s.Phases[ph])
+	}
+	return buf.String()
+}
+
+// loc converts a decoder offset (which points just past the previous
+// token) into the 1-based line and offset of the next non-separator
+// byte — the start of the element about to be decoded.
+func loc(data []byte, off int64) (int, int64) {
+	i := off
+	for i < int64(len(data)) {
+		switch data[i] {
+		case ' ', '\t', '\r', '\n', ',', '[', ':':
+			i++
+			continue
+		}
+		break
+	}
+	return 1 + bytes.Count(data[:i], []byte{'\n'}), i
+}
+
+// openSpan remembers where an async span began, so an unbalanced trace
+// is reported at its opening event.
+type openSpan struct {
+	index  int
+	line   int
+	offset int64
+	name   string
+}
+
+// Validate structurally checks a trace-event document: the bytes must
+// parse as the JSON Object Format ({"traceEvents": [...]}), complete
+// spans need non-negative timestamps and durations, and every async
+// trace must open and close in order on each (cat, id) pair. The first
+// violation is returned as an *Error carrying the offending event's
+// index, line and byte offset.
+func Validate(data []byte) (Stats, error) {
+	stats := Stats{Phases: map[string]int{}}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	fail := func(off int64, index int, name, format string, args ...any) error {
+		line, at := loc(data, off)
+		return &Error{Index: index, Line: line, Offset: at, Name: name, Msg: fmt.Sprintf(format, args...)}
+	}
+	syntax := func(err error) error {
+		off := int64(-1)
+		if serr, ok := err.(*json.SyntaxError); ok {
+			off = serr.Offset
+		}
+		line := 0
+		if off >= 0 {
+			line = 1 + bytes.Count(data[:min(off, int64(len(data)))], []byte{'\n'})
+		}
+		return &Error{Index: -1, Line: line, Offset: off, Msg: fmt.Sprintf("not a trace-event document: %v", err)}
+	}
+	tok, err := dec.Token()
+	if err != nil {
+		return stats, syntax(err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return stats, &Error{Index: -1, Msg: fmt.Sprintf("not a trace-event document: top-level %v, want object", tok)}
+	}
+	sawEvents := false
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return stats, syntax(err)
+		}
+		key, _ := keyTok.(string)
+		if key != "traceEvents" {
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return stats, syntax(err)
+			}
+			continue
+		}
+		sawEvents = true
+		if tok, err := dec.Token(); err != nil {
+			return stats, syntax(err)
+		} else if d, ok := tok.(json.Delim); !ok || d != '[' {
+			return stats, &Error{Index: -1, Msg: fmt.Sprintf("traceEvents is %v, want array", tok)}
+		}
+		type asyncKey struct{ cat, id string }
+		open := map[asyncKey][]openSpan{}
+		for i := 0; dec.More(); i++ {
+			off := dec.InputOffset()
+			var ev Event
+			if err := dec.Decode(&ev); err != nil {
+				return stats, syntax(err)
+			}
+			stats.Events++
+			stats.Phases[ev.Phase]++
+			switch ev.Phase {
+			case "X":
+				if ev.TS < 0 || ev.Dur < 0 {
+					return stats, fail(off, i, ev.Name, "negative ts/dur")
+				}
+			case "i":
+				if ev.TS < 0 {
+					return stats, fail(off, i, ev.Name, "negative ts")
+				}
+			case "b", "n", "e":
+				if ev.ID == "" {
+					return stats, fail(off, i, ev.Name, "async event without id")
+				}
+				k := asyncKey{ev.Cat, ev.ID}
+				switch ev.Phase {
+				case "b":
+					line, at := loc(data, off)
+					open[k] = append(open[k], openSpan{index: i, line: line, offset: at, name: ev.Name})
+				case "n":
+					if len(open[k]) == 0 {
+						return stats, fail(off, i, ev.Name, "async instant outside open span (%s, %s)", ev.Cat, ev.ID)
+					}
+				case "e":
+					if len(open[k]) == 0 {
+						return stats, fail(off, i, ev.Name, "async end without begin (%s, %s)", ev.Cat, ev.ID)
+					}
+					open[k] = open[k][:len(open[k])-1]
+				}
+			case "M":
+				// metadata: no timing constraints
+			default:
+				return stats, fail(off, i, ev.Name, "unknown phase %q", ev.Phase)
+			}
+		}
+		if tok, err := dec.Token(); err != nil { // closing ']'
+			return stats, syntax(err)
+		} else if d, ok := tok.(json.Delim); !ok || d != ']' {
+			return stats, &Error{Index: -1, Msg: fmt.Sprintf("traceEvents terminated by %v", tok)}
+		}
+		// Report the earliest still-open begin so the line points at the
+		// span that never closed.
+		var leaked *openSpan
+		var leakedKey asyncKey
+		for k, spans := range open {
+			for i := range spans {
+				sp := spans[i]
+				if leaked == nil || sp.index < leaked.index {
+					leaked = &spans[i]
+					leakedKey = k
+				}
+			}
+		}
+		if leaked != nil {
+			return stats, &Error{
+				Index: leaked.index, Line: leaked.line, Offset: leaked.offset, Name: leaked.name,
+				Msg: fmt.Sprintf("async span (%s, %s) never ends", leakedKey.cat, leakedKey.id),
+			}
+		}
+	}
+	if tok, err := dec.Token(); err != nil { // closing '}'
+		return stats, syntax(err)
+	} else if d, ok := tok.(json.Delim); !ok || d != '}' {
+		return stats, &Error{Index: -1, Msg: fmt.Sprintf("document terminated by %v", tok)}
+	}
+	if !sawEvents || stats.Events == 0 {
+		return stats, &Error{Index: -1, Msg: "no trace events"}
+	}
+	return stats, nil
+}

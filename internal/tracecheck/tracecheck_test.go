@@ -1,0 +1,110 @@
+package tracecheck
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const validDoc = `{"displayTimeUnit":"ms","traceEvents":[
+{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"ibcbench"}},
+{"ph":"X","pid":1,"tid":1,"ts":0,"dur":5,"name":"block","cat":"sim"},
+{"ph":"i","pid":1,"tid":1,"ts":2,"name":"clear","cat":"sim"},
+{"ph":"b","pid":1,"tid":2,"ts":1,"name":"pkt","cat":"pkt","id":"0x1"},
+{"ph":"n","pid":1,"tid":2,"ts":2,"name":"recv","cat":"pkt","id":"0x1"},
+{"ph":"e","pid":1,"tid":2,"ts":3,"name":"pkt","cat":"pkt","id":"0x1"}
+]}
+`
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	stats, err := Validate([]byte(validDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 6 {
+		t.Fatalf("Events = %d, want 6", stats.Events)
+	}
+	if got := stats.PhaseList(); got != "M=1 X=1 b=1 e=1 i=1 n=1" {
+		t.Fatalf("PhaseList = %q", got)
+	}
+}
+
+// TestValidateLocatesFirstViolation pins the line/offset reporting: the
+// exporter writes one event per line, so the error must name the exact
+// line of the first offending event.
+func TestValidateLocatesFirstViolation(t *testing.T) {
+	doc := `{"traceEvents":[
+{"ph":"X","ts":0,"dur":1,"name":"ok"},
+{"ph":"X","ts":1,"dur":-2,"name":"bad"},
+{"ph":"Q","ts":2,"name":"never-reached"}
+]}`
+	_, err := Validate([]byte(doc))
+	var verr *Error
+	if !errors.As(err, &verr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if verr.Index != 1 || verr.Line != 3 || verr.Name != "bad" {
+		t.Fatalf("violation at index %d line %d name %q, want 1/3/bad (%v)", verr.Index, verr.Line, verr.Name, err)
+	}
+	if verr.Offset <= 0 || doc[verr.Offset] != '{' {
+		t.Fatalf("offset %d does not point at the event start", verr.Offset)
+	}
+	for _, want := range []string{"line 3", "offset", "negative ts/dur"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q misses %q", err, want)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenDocs(t *testing.T) {
+	cases := map[string]string{
+		"not-json":      `{"traceEvents": [`,
+		"not-object":    `[1, 2]`,
+		"no-events-key": `{"displayTimeUnit": "ms"}`,
+		"empty":         `{"traceEvents": []}`,
+		"unknown-phase": `{"traceEvents": [{"name":"x","ph":"Q","ts":0}]}`,
+		"negative-dur":  `{"traceEvents": [{"name":"x","ph":"X","ts":1,"dur":-2}]}`,
+		"negative-ts":   `{"traceEvents": [{"name":"x","ph":"i","ts":-1}]}`,
+		"id-less-async": `{"traceEvents": [{"name":"p","ph":"b","cat":"pkt","ts":0}]}`,
+		"unbalanced":    `{"traceEvents": [{"name":"p","ph":"b","cat":"pkt","id":"0x1","ts":0}]}`,
+		"end-no-begin":  `{"traceEvents": [{"name":"p","ph":"e","cat":"pkt","id":"0x1","ts":0}]}`,
+		"orphan-async":  `{"traceEvents": [{"name":"p","ph":"n","cat":"pkt","id":"0x1","ts":0}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Validate([]byte(doc)); err == nil {
+			t.Errorf("%s: validator accepted a broken document", name)
+		}
+	}
+}
+
+// TestValidateUnbalancedPointsAtBegin: a leaked async span is reported
+// at the begin event that never closed, not at end-of-file.
+func TestValidateUnbalancedPointsAtBegin(t *testing.T) {
+	doc := `{"traceEvents":[
+{"ph":"b","cat":"pkt","id":"0x1","ts":0,"name":"closed"},
+{"ph":"e","cat":"pkt","id":"0x1","ts":1,"name":"closed"},
+{"ph":"b","cat":"pkt","id":"0x2","ts":2,"name":"leaked"}
+]}`
+	_, err := Validate([]byte(doc))
+	var verr *Error
+	if !errors.As(err, &verr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if verr.Index != 2 || verr.Line != 4 || verr.Name != "leaked" {
+		t.Fatalf("leak reported at index %d line %d name %q, want 2/4/leaked", verr.Index, verr.Line, verr.Name)
+	}
+}
+
+// TestValidateNestedAsyncSameKey: reopening the same (cat, id) nests;
+// each begin needs its own end.
+func TestValidateNestedAsyncSameKey(t *testing.T) {
+	doc := `{"traceEvents":[
+{"ph":"b","cat":"pkt","id":"0x1","ts":0,"name":"outer"},
+{"ph":"b","cat":"pkt","id":"0x1","ts":1,"name":"inner"},
+{"ph":"e","cat":"pkt","id":"0x1","ts":2,"name":"inner"},
+{"ph":"e","cat":"pkt","id":"0x1","ts":3,"name":"outer"}
+]}`
+	if _, err := Validate([]byte(doc)); err != nil {
+		t.Fatal(err)
+	}
+}
