@@ -1,0 +1,118 @@
+// Live telemetry client: -live ADDR streams an experiment's progress
+// snapshots to a running `ibcbench serve` instance while the
+// simulation executes, then converts the session into an archived run
+// when it finishes. Telemetry is fire-and-forget — a dead or slow
+// service warns once and never fails (or slows the scheduling of) the
+// run itself; the simulation's virtual clock is unaffected either way
+// because the hook reads counters without touching any RNG.
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"ibcbench/internal/obs"
+)
+
+// liveClient posts one run process's telemetry under a random session
+// ID, so concurrent ibcbench invocations against one service never
+// collide.
+type liveClient struct {
+	base    string
+	session string
+	client  *http.Client
+
+	mu     sync.Mutex
+	warned bool
+}
+
+// newLiveClient builds a client for a -live address; a bare host:port
+// gets the http scheme.
+func newLiveClient(addr string) *liveClient {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	var buf [8]byte
+	rand.Read(buf[:])
+	return &liveClient{
+		base:    strings.TrimRight(addr, "/"),
+		session: hex.EncodeToString(buf[:]),
+		client:  &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// Hook is the topo.LiveConfig callback. Sweeps run seeds concurrently,
+// so it is goroutine-safe; delivery failures warn once and are
+// otherwise ignored.
+func (lc *liveClient) Hook(st obs.LiveStatus) {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	resp, err := lc.client.Post(
+		lc.base+"/api/live/update?session="+url.QueryEscape(lc.session),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		lc.warnOnce(err)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		lc.warnOnce(fmt.Errorf("status %s", resp.Status))
+	}
+}
+
+func (lc *liveClient) warnOnce(err error) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.warned {
+		return
+	}
+	lc.warned = true
+	fmt.Fprintf(os.Stderr, "live: update failed (%v); continuing without telemetry\n", err)
+}
+
+// Finish ends the live session. A non-empty payload is the finished
+// result document: the service archives it (idempotently, like
+// /api/ingest) and the archived run ID comes back. An empty payload
+// only clears the session's live entries.
+func (lc *liveClient) Finish(kind, commit string, payload []byte) (string, bool, error) {
+	q := url.Values{"session": {lc.session}}
+	if kind != "" {
+		q.Set("kind", kind)
+	}
+	if commit != "" {
+		q.Set("commit", commit)
+	}
+	resp, err := lc.client.Post(lc.base+"/api/live/finish?"+q.Encode(),
+		"application/json", bytes.NewReader(payload))
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return "", false, fmt.Errorf("status %s", resp.Status)
+	}
+	if len(payload) == 0 {
+		return "", false, nil
+	}
+	var out struct {
+		Meta struct {
+			ID string `json:"id"`
+		} `json:"meta"`
+		Created bool `json:"created"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", false, fmt.Errorf("decode response: %w", err)
+	}
+	return out.Meta.ID, out.Created, nil
+}

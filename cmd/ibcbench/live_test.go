@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ibcbench/internal/obs"
+	"ibcbench/internal/serve"
+	"ibcbench/internal/store"
+)
+
+// TestLiveClientAgainstService drives the CLI telemetry client against
+// a real in-process experiment service: Hook publishes snapshots that
+// appear under /api/live, and Finish archives the result document and
+// clears the session.
+func TestLiveClientAgainstService(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(serve.New(st))
+	defer ts.Close()
+
+	lc := newLiveClient(strings.TrimPrefix(ts.URL, "http://"))
+	lc.Hook(obs.LiveStatus{Name: "hub-3", Seed: 5, Now: 2 * time.Second, Blocks: 4, Tracked: 10, Completed: 6, Backlog: 4})
+	lc.Hook(obs.LiveStatus{Name: "hub-3", Seed: 5, Now: 4 * time.Second, Blocks: 8, Tracked: 10, Completed: 10})
+
+	resp, err := http.Get(ts.URL + "/api/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Live []struct {
+			Session string         `json:"session"`
+			Updates int            `json:"updates"`
+			Status  obs.LiveStatus `json:"status"`
+		} `json:"live"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Live) != 1 || list.Live[0].Updates != 2 || list.Live[0].Status.Blocks != 8 {
+		t.Fatalf("live entries %+v", list.Live)
+	}
+	if list.Live[0].Session != lc.session {
+		t.Fatalf("session %q, want %q", list.Live[0].Session, lc.session)
+	}
+
+	id, created, err := lc.Finish("experiment", "abc1234", []byte(`{"config": {"topology": "hub:3"}, "result": {"ok": true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" || !created {
+		t.Fatalf("finish: id=%q created=%v", id, created)
+	}
+	if got := len(st.Runs()); got != 1 {
+		t.Fatalf("archived runs = %d, want 1", got)
+	}
+	if meta := st.Runs()[0]; meta.ID != id || meta.Kind != "experiment" || meta.Commit != "abc1234" {
+		t.Fatalf("archived meta %+v", meta)
+	}
+}
+
+// TestLiveClientToleratesDeadService: a dead -live target must never
+// fail the run — Hook warns once and Finish with no payload is the
+// only call that surfaces the error to its caller.
+func TestLiveClientToleratesDeadService(t *testing.T) {
+	lc := newLiveClient("127.0.0.1:1") // nothing listens on port 1
+	lc.Hook(obs.LiveStatus{Name: "x"}) // must not panic or block the run
+	lc.Hook(obs.LiveStatus{Name: "x"})
+	if !lc.warned {
+		t.Fatal("dead service did not trip the one-shot warning")
+	}
+	if _, _, err := lc.Finish("", "", nil); err == nil {
+		t.Fatal("finish against a dead service reported success")
+	}
+}

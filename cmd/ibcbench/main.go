@@ -24,6 +24,9 @@
 //	ibcbench -trace trace.json -topology hub:3     # Perfetto trace of one run
 //	ibcbench -trace-summary -topology hub:3        # top spans by total/self time
 //	ibcbench -validate-trace trace.json            # structural trace check
+//	ibcbench -trace-analyze trace.json -top 30     # flame tree + critical-path tables
+//	ibcbench -experiment failover -live :8321      # stream live telemetry to serve
+//	ibcbench -experiment topo -cpuprofile cpu.out  # profile the run (go tool pprof)
 //	ibcbench -experiment topo -store runs/         # archive the result document
 //	ibcbench serve -store runs/ -addr :8321        # HTTP dashboard over the store
 //
@@ -41,12 +44,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"ibcbench/internal/experiments"
 	"ibcbench/internal/netem"
+	"ibcbench/internal/topo"
 )
 
 func main() {
@@ -82,6 +88,11 @@ func run(args []string) error {
 		tracePath  = fs.String("trace", "", "run one instrumented -topology scenario and write a Chrome trace-event file (Perfetto-loadable) here, then exit")
 		traceSum   = fs.Bool("trace-summary", false, "with or without -trace: run one instrumented scenario and print the top spans by total/self time per subsystem")
 		traceCheck = fs.String("validate-trace", "", "structurally validate a -trace output file (JSON shape, span timing, async begin/end balance) and exit")
+		traceAna   = fs.String("trace-analyze", "", "analyze an exported -trace file: flame span tree plus per-packet critical-path latency tables, then exit")
+		topN       = fs.Int("top", 20, "row cap for -trace-summary and -trace-analyze tables (0 = unlimited)")
+		liveAddr   = fs.String("live", "", "stream live run telemetry to an `ibcbench serve` address (host:port) and archive the result there when the run completes")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +102,9 @@ func run(args []string) error {
 	}
 	if *traceCheck != "" {
 		return runValidateTrace(*traceCheck, os.Stdout)
+	}
+	if *traceAna != "" {
+		return runTraceAnalyze(*traceAna, *topN, os.Stdout)
 	}
 	if *diffOld != "" {
 		if fs.NArg() < 1 {
@@ -117,6 +131,43 @@ func run(args []string) error {
 	if len(valSizes) > 0 {
 		opt.Validators = valSizes[0]
 	}
+	// Profiling brackets everything from here on — the simulation work.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProfile)
+		}()
+	}
+	var lc *liveClient
+	if *liveAddr != "" {
+		lc = newLiveClient(*liveAddr)
+		opt.Live = &topo.LiveConfig{Hook: lc.Hook}
+	}
 	// The config header identifies what produced a result document;
 	// -diff warns field by field when comparing results whose headers
 	// disagree, and the store's trend/regression analysis treats runs
@@ -131,13 +182,19 @@ func run(args []string) error {
 		}
 	}
 	if *tracePath != "" || *traceSum {
-		return runTrace(opt, *topology, *rate, *forwarding, *seed, *tracePath, *traceSum,
+		err := runTrace(opt, *topology, *rate, *forwarding, *seed, *tracePath, *traceSum, *topN,
 			*storeDir, cfgHeader(), os.Stdout)
+		if lc != nil {
+			// The traced run archives locally (-store); just clear the
+			// session's live entries on the service.
+			lc.Finish("", "", nil)
+		}
+		return err
 	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	report := map[string]any{}
 	record := func(key string, v any) {
-		if *out != "" || *storeDir != "" {
+		if *out != "" || *storeDir != "" || lc != nil {
 			report[key] = v
 		}
 	}
@@ -297,7 +354,7 @@ func run(args []string) error {
 			res.Stuck, pct(res.Stuck, res.Transfers))
 		fmt.Println("paper: 2.5% completed / 15.7% timed out / 81.8% stuck")
 	}
-	if *out != "" || *storeDir != "" {
+	if *out != "" || *storeDir != "" || lc != nil {
 		report["config"] = cfgHeader()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -314,6 +371,18 @@ func run(args []string) error {
 			if err := archiveRun(*storeDir, "experiment", data, nil, false, os.Stderr); err != nil {
 				return err
 			}
+		}
+		if lc != nil {
+			meta := experiments.CaptureRunMeta()
+			id, created, err := lc.Finish("experiment", meta.Commit, data)
+			if err != nil {
+				return fmt.Errorf("live finish: %w", err)
+			}
+			note := ""
+			if !created {
+				note = " (already archived)"
+			}
+			fmt.Fprintf(os.Stderr, "live: archived run %s%s\n", id, note)
 		}
 	}
 	return nil

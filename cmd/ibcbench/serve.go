@@ -18,11 +18,12 @@ import (
 
 // runServe starts the experiment service over a store directory:
 //
-//	ibcbench serve [-store DIR] [-addr HOST:PORT]
+//	ibcbench serve [-store DIR] [-addr HOST:PORT] [-pprof]
 func runServe(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ibcbench serve", flag.ContinueOnError)
 	dir := fs.String("store", "ibcbench-store", "experiment store directory (created if missing)")
 	addr := fs.String("addr", "127.0.0.1:8321", "listen address")
+	pprofOn := fs.Bool("pprof", false, "expose the net/http/pprof profiling handlers under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -31,8 +32,14 @@ func runServe(args []string, w io.Writer) error {
 		return err
 	}
 	defer st.Close()
-	fmt.Fprintf(w, "ibcbench serve: %d archived run(s) in %s — http://%s/\n", len(st.Runs()), st.Dir(), *addr)
-	return http.ListenAndServe(*addr, serve.New(st))
+	srv := serve.New(st)
+	note := ""
+	if *pprofOn {
+		srv.EnablePprof()
+		note = " (pprof on)"
+	}
+	fmt.Fprintf(w, "ibcbench serve: %d archived run(s) in %s — http://%s/%s\n", len(st.Runs()), st.Dir(), *addr, note)
+	return http.ListenAndServe(*addr, srv)
 }
 
 // archiveRun ingests one result document (and optionally its trace)

@@ -1,8 +1,10 @@
-// Trace export and validation: -trace runs one instrumented scenario
-// and writes a Chrome trace-event file (load it at ui.perfetto.dev or
-// chrome://tracing), -trace-summary prints the top spans by total/self
-// time per subsystem, and -validate-trace structurally checks an
-// exported file (the CI smoke step runs it against a short hub run).
+// Trace export, validation, and analysis: -trace runs one instrumented
+// scenario and writes a Chrome trace-event file (load it at
+// ui.perfetto.dev or chrome://tracing), -trace-summary prints the top
+// spans by total/self time per subsystem (-top caps the table),
+// -validate-trace structurally checks an exported file (the CI smoke
+// step runs it against a short hub run), and -trace-analyze runs the
+// traceview flame/critical-path analytics over an exported file.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"ibcbench/internal/obs"
 	"ibcbench/internal/topo"
 	"ibcbench/internal/tracecheck"
+	"ibcbench/internal/traceview"
 )
 
 // runTrace executes one seed of the topo scenario with observability
@@ -26,7 +29,7 @@ import (
 // trace attached, validated and badged exactly like a server-side
 // ingest.
 func runTrace(opt experiments.Options, topology string, rate int, forwarded bool,
-	seed int64, tracePath string, summary bool, storeDir string, cfg map[string]any, w io.Writer) error {
+	seed int64, tracePath string, summary bool, top int, storeDir string, cfg map[string]any, w io.Writer) error {
 	sc, err := experiments.BuildTopologyScenario(opt, topology, rate, forwarded)
 	if err != nil {
 		return err
@@ -52,7 +55,7 @@ func runTrace(opt experiments.Options, topology string, rate int, forwarded bool
 	}
 	if summary {
 		fmt.Fprintln(w)
-		obs.WriteSummary(w, o.Tracer.Summary(), 20)
+		obs.WriteSummary(w, o.Tracer.Summary(), top)
 	}
 	if storeDir != "" {
 		meta := experiments.CaptureRunMeta()
@@ -68,6 +71,28 @@ func runTrace(opt experiments.Options, topology string, rate int, forwarded bool
 		_, verr := tracecheck.Validate(trace.Bytes())
 		return archiveRun(storeDir, "trace", payload, trace.Bytes(), verr == nil, os.Stderr)
 	}
+	return nil
+}
+
+// runTraceAnalyze runs the traceview analytics over an exported trace
+// file: the aggregated flame span tree (total/self per subsystem),
+// then the per-packet critical-path tables — per-step latency
+// distributions grouped by edge and route hop, each step's share of
+// end-to-end latency, and the explicit unattributed residual. The
+// output is deterministic: same trace bytes, same tables.
+func runTraceAnalyze(path string, top int, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	events, err := traceview.FromChrome(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(w, "# %s: %d event(s)\n\n", path, len(events))
+	traceview.WriteFlame(w, traceview.Flame(events), top)
+	fmt.Fprintln(w)
+	traceview.WriteCritPath(w, traceview.CriticalPath(events))
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,7 +19,7 @@ func TestTraceExportRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	var out bytes.Buffer
 	opt := experiments.Options{Seeds: 1, Windows: 2}
-	if err := runTrace(opt, "hub:3", 3, false, 7, path, true, "", nil, &out); err != nil {
+	if err := runTrace(opt, "hub:3", 3, false, 7, path, true, 20, "", nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	var check bytes.Buffer
@@ -32,6 +33,37 @@ func TestTraceExportRoundTrip(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("summary misses %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestTraceAnalyzeRoundTrip: an exported forwarded-route trace feeds
+// the -trace-analyze path, which prints the flame span tree and the
+// critical-path tables deterministically.
+func TestTraceAnalyzeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	opt := experiments.Options{Seeds: 1, Windows: 2}
+	if err := runTrace(opt, "line:3", 3, true, 7, path, false, 20, "", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	analyze := func() string {
+		var buf bytes.Buffer
+		if err := runTraceAnalyze(path, 15, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	got := analyze()
+	for _, want := range []string{"span tree", "chain", "# critical path", "end-to-end", "attributed"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("analysis misses %q:\n%s", want, got)
+		}
+	}
+	if got != analyze() {
+		t.Fatal("same trace produced different analysis output")
+	}
+	if err := runTraceAnalyze(filepath.Join(t.TempDir(), "missing.json"), 15, io.Discard); err == nil {
+		t.Fatal("analyzer accepted a missing file")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"ibcbench/internal/metrics"
 	"ibcbench/internal/simconf"
 	"ibcbench/internal/tendermint/store"
+	"ibcbench/internal/topo"
 	"ibcbench/internal/workload"
 )
 
@@ -38,6 +39,12 @@ type Options struct {
 	// workers (0/1 = the serial scheduler). Results are byte-identical
 	// either way; see topo.DeployConfig.ParallelWorkers.
 	Parallel int
+	// Live publishes periodic progress snapshots of every topology-
+	// scenario run (nil = disabled; see topo.LiveConfig). Sweeps run
+	// seeds concurrently, so the hook must be safe for concurrent use.
+	// The hook is read-only on the deployment and never changes
+	// simulation results.
+	Live *topo.LiveConfig
 }
 
 func (o Options) seeds() int {

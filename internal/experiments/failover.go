@@ -105,7 +105,7 @@ func Failover(opt Options, spec string, rate int) (FailoverResult, error) {
 		sc := topo.Scenario{
 			Name:         fmt.Sprintf("failover-%s-w%ds", spec, int(w.Seconds())),
 			Topology:     tp,
-			Deploy:       topo.DeployConfig{Geo: model, Standby: true, Validators: opt.Validators, ParallelWorkers: opt.Parallel},
+			Deploy:       topo.DeployConfig{Geo: model, Standby: true, Validators: opt.Validators, ParallelWorkers: opt.Parallel, Live: opt.Live},
 			EdgeRates:    rates,
 			Windows:      windows,
 			RecordCurves: true,

@@ -71,7 +71,7 @@ func ForwardingComparison(opt Options, spec string, transfers int) (ForwardingRe
 		sc := topo.Scenario{
 			Name:     fmt.Sprintf("%s-hops%d", spec, len(path)-1),
 			Topology: tp,
-			Deploy:   topo.DeployConfig{Validators: opt.Validators, ParallelWorkers: opt.Parallel},
+			Deploy:   topo.DeployConfig{Validators: opt.Validators, ParallelWorkers: opt.Parallel, Live: opt.Live},
 			Routes: []topo.Route{
 				{Path: path, Transfers: transfers},
 				{Path: path, Transfers: transfers, Forwarded: true},

@@ -94,6 +94,7 @@ func MeshScale(opt Options, chains []int, workers int) (MeshScaleResult, error) 
 			Deploy: topo.DeployConfig{
 				Validators:      vals,
 				ParallelWorkers: w,
+				Live:            opt.Live,
 			},
 			EdgeRates: edgeRates,
 			Windows:   windows,

@@ -61,7 +61,7 @@ func BuildTopologyScenario(opt Options, spec string, rate int, forwarded bool) (
 	sc := topo.Scenario{
 		Name:     spec,
 		Topology: tp,
-		Deploy:   topo.DeployConfig{Geo: model, Validators: opt.Validators, ParallelWorkers: opt.Parallel},
+		Deploy:   topo.DeployConfig{Geo: model, Validators: opt.Validators, ParallelWorkers: opt.Parallel, Live: opt.Live},
 		Windows:  windows,
 	}
 	sc.EdgeRates = make(map[int]int, len(tp.Edges))

@@ -94,7 +94,7 @@ func VoteScale(opt Options, spec string, rate int, sizes []int) (VoteScaleResult
 		return topo.Scenario{
 			Name:      fmt.Sprintf("votescale-%s-v%d", spec, sizes[sizeIdx]),
 			Topology:  tp,
-			Deploy:    topo.DeployConfig{Geo: model, Validators: sizes[sizeIdx], ParallelWorkers: opt.Parallel},
+			Deploy:    topo.DeployConfig{Geo: model, Validators: sizes[sizeIdx], ParallelWorkers: opt.Parallel, Live: opt.Live},
 			EdgeRates: rates,
 			Windows:   windows,
 		}

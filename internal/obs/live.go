@@ -1,0 +1,30 @@
+// LiveStatus: the periodic progress snapshot a running deployment
+// publishes to the experiment service's /api/live endpoint. It lives
+// in obs (not topo or serve) because both the producing simulation
+// layer and the consuming HTTP layer already depend on obs, and the
+// payload is pure observability data.
+package obs
+
+import "time"
+
+// LiveStatus is one progress sample of an in-flight run: cheap
+// aggregate counters read from the deployment without touching any
+// RNG, so publishing it never perturbs the simulation.
+type LiveStatus struct {
+	// Name and Seed identify the scenario execution (one sweep run).
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Now is the current virtual time.
+	Now time.Duration `json:"now"`
+	// Blocks counts blocks committed across every chain so far.
+	Blocks int64 `json:"blocks"`
+	// Tracked/Completed count packet lifecycles opened and fully
+	// settled across every edge; Backlog is the difference — the
+	// in-flight depth a dashboard graphs while an experiment executes.
+	Tracked   int `json:"tracked"`
+	Completed int `json:"completed"`
+	Backlog   int `json:"backlog"`
+	// Snapshot carries the full registry state when the run is
+	// instrumented (nil otherwise).
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 )
@@ -226,5 +227,47 @@ func TestSummarySelfTime(t *testing.T) {
 	WriteSummary(&buf, rows, 20)
 	if buf.Len() == 0 {
 		t.Fatal("empty summary table")
+	}
+}
+
+// TestSummaryTopCapAndTieOrder pins the -trace-summary contract the
+// CLI's -top flag relies on: equal-total rows tie-break by subsystem
+// then name (never recording order), a positive top caps the table,
+// and top <= 0 means unlimited.
+func TestSummaryTopCapAndTieOrder(t *testing.T) {
+	tr := NewTracer()
+	// Three names with identical 10ms totals, recorded in scrambled
+	// order across two subsystems.
+	for i, spec := range []struct{ track, name string }{
+		{"relayer/r0", "scan"},
+		{"chain/ibc-1", "exec"},
+		{"chain/ibc-0", "block"},
+	} {
+		track := tr.Track(spec.track)
+		start := time.Duration(i) * time.Second
+		tr.CompleteAt(track, tr.Name(spec.name), start, start+10*time.Millisecond)
+	}
+	rows := tr.Summary()
+	var got []string
+	for _, r := range rows {
+		got = append(got, r.Subsystem+"/"+r.Name)
+	}
+	want := []string{"chain/block", "chain/exec", "relayer/scan"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie order = %v, want %v", got, want)
+		}
+	}
+
+	lines := func(top int) int {
+		var buf bytes.Buffer
+		WriteSummary(&buf, rows, top)
+		return strings.Count(buf.String(), "\n")
+	}
+	if n := lines(2); n != 3 { // header + 2 rows
+		t.Fatalf("top=2 wrote %d lines, want 3", n)
+	}
+	if n := lines(0); n != 4 { // header + all 3 rows
+		t.Fatalf("top=0 wrote %d lines, want 4", n)
 	}
 }

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// analyticsTrace is a minimal valid export: one chain track with a
+// nested block/exec span pair, a second chain track, and one two-hop
+// packet lifecycle flow (10µs on the first edge, 90µs on the second).
+const analyticsTrace = `{"traceEvents": [
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"chain/left"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"chain/right"}},
+{"name":"packet","ph":"b","cat":"pkt","id":"0x1","pid":1,"tid":1,"ts":0.000},
+{"name":"block","ph":"X","pid":1,"tid":1,"ts":0.000,"dur":100.000},
+{"name":"exec","ph":"X","pid":1,"tid":1,"ts":10.000,"dur":40.000},
+{"name":"Transfer broadcast","ph":"n","cat":"pkt","id":"0x1","pid":1,"tid":1,"ts":10.000},
+{"name":"Packet relayed","ph":"n","cat":"pkt","id":"0x1","pid":1,"tid":2,"ts":100.000},
+{"name":"packet","ph":"e","cat":"pkt","id":"0x1","pid":1,"tid":2,"ts":100.000}
+]}`
+
+// ingestWithTrace archives one run and attaches the given trace bytes.
+func ingestWithTrace(t *testing.T, base, trace string) string {
+	t.Helper()
+	out, code := postIngest(t, base, "kind=trace&time=2026-08-01T00:00:00Z", doc("hub:3", 1, 0.8))
+	if code != http.StatusCreated {
+		t.Fatalf("ingest status=%d", code)
+	}
+	resp, err := http.Post(base+"/api/runs/"+out.Meta.ID+"/trace", "application/json", strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("POST trace: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("attach trace status=%d", resp.StatusCode)
+	}
+	return out.Meta.ID
+}
+
+// TestFlameEndpointAndPage: the flame API serves traceview's canonical
+// JSON (deterministically) and the page inlines the icicle SVG plus
+// the span-tree table.
+func TestFlameEndpointAndPage(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := ingestWithTrace(t, ts.URL, analyticsTrace)
+
+	body, code := getBody(t, ts.URL+"/api/runs/"+id+"/flame")
+	if code != http.StatusOK {
+		t.Fatalf("flame status=%d", code)
+	}
+	for _, want := range []string{`"name": "run"`, `"chain"`, `"block"`, `"exec"`, `"total"`, `"self"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("flame JSON missing %s:\n%s", want, body)
+		}
+	}
+	again, _ := getBody(t, ts.URL+"/api/runs/"+id+"/flame")
+	if body != again {
+		t.Error("flame JSON not byte-identical across requests")
+	}
+
+	page, code := getBody(t, ts.URL+"/runs/"+id+"/flame")
+	if code != http.StatusOK {
+		t.Fatalf("flame page status=%d", code)
+	}
+	for _, want := range []string{`<svg class="flame"`, "Span tree", "block", "critpath"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("flame page missing %q", want)
+		}
+	}
+	for _, external := range []string{"<script", "<link", "src=", "@import"} {
+		if strings.Contains(page, external) {
+			t.Errorf("flame page references an external asset: %q", external)
+		}
+	}
+}
+
+// TestCritPathEndpointAndPage: the critical-path API reports full
+// attribution for the synthetic flow and the page renders the share
+// bars and per-step table.
+func TestCritPathEndpointAndPage(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := ingestWithTrace(t, ts.URL, analyticsTrace)
+
+	body, code := getBody(t, ts.URL+"/api/runs/"+id+"/critpath")
+	if code != http.StatusOK {
+		t.Fatalf("critpath status=%d", code)
+	}
+	for _, want := range []string{`"flows": 1`, `"attributed_share": 1`, `"hop": 1`, `"Packet relayed"`, `"residual": 0`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("critpath JSON missing %s:\n%s", want, body)
+		}
+	}
+	again, _ := getBody(t, ts.URL+"/api/runs/"+id+"/critpath")
+	if body != again {
+		t.Error("critpath JSON not byte-identical across requests")
+	}
+
+	page, code := getBody(t, ts.URL+"/runs/"+id+"/critpath")
+	if code != http.StatusOK {
+		t.Fatalf("critpath page status=%d", code)
+	}
+	for _, want := range []string{`<svg class="critpath"`, "Packet relayed", "90.0%", "chain/right", "Per-step latency"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("critpath page missing %q", want)
+		}
+	}
+}
+
+// TestAnalyticsErrors: missing run/trace → 404; a stored-but-broken
+// trace (invalid traces are archived for inspection) → 422.
+func TestAnalyticsErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/api/runs/nope/flame", "/api/runs/nope/critpath"} {
+		if _, code := getBody(t, ts.URL+path); code != http.StatusNotFound {
+			t.Errorf("%s status=%d, want 404", path, code)
+		}
+	}
+	out, _ := postIngest(t, ts.URL, "time=2026-08-02T00:00:00Z", doc("hub:3", 2, 0.9))
+	if _, code := getBody(t, ts.URL+"/api/runs/"+out.Meta.ID+"/flame"); code != http.StatusNotFound {
+		t.Errorf("traceless run flame status=%d, want 404", code)
+	}
+
+	// A syntactically broken trace is stored (badged invalid) but cannot
+	// be analyzed.
+	resp, err := http.Post(ts.URL+"/api/runs/"+out.Meta.ID+"/trace", "application/json",
+		strings.NewReader(`{"traceEvents": [`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, path := range []string{"/flame", "/critpath"} {
+		if _, code := getBody(t, ts.URL+"/api/runs/"+out.Meta.ID+path); code != http.StatusUnprocessableEntity {
+			t.Errorf("broken trace %s status=%d, want 422", path, code)
+		}
+	}
+}
+
+// TestRunPageLinksAnalytics: a run with a trace links both analytics
+// pages; a traceless run links neither.
+func TestRunPageLinksAnalytics(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := ingestWithTrace(t, ts.URL, analyticsTrace)
+	page, _ := getBody(t, ts.URL+"/runs/"+id)
+	if !strings.Contains(page, "/runs/"+id+"/flame") || !strings.Contains(page, "/runs/"+id+"/critpath") {
+		t.Error("run page missing analytics links")
+	}
+	out, _ := postIngest(t, ts.URL, "time=2026-08-03T00:00:00Z", doc("hub:3", 3, 0.9))
+	page, _ = getBody(t, ts.URL+"/runs/"+out.Meta.ID)
+	if strings.Contains(page, "/flame") {
+		t.Error("traceless run page links analytics")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"time"
 
 	"ibcbench/internal/resultdiff"
 	"ibcbench/internal/store"
@@ -82,10 +83,18 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		metrics = defaultMetricCandidates
 	}
 	var b strings.Builder
-	pageHead(&b, "ibcbench experiment service")
+	live := s.liveEntries()
+	var extra []string
+	if len(live) > 0 {
+		// Refresh only while something is in flight — a static archive
+		// page should not poll.
+		extra = append(extra, `<meta http-equiv=refresh content=3>`)
+	}
+	pageHead(&b, "ibcbench experiment service", extra...)
 	runs := s.st.Runs()
 	fmt.Fprintf(&b, "<h1>ibcbench experiment service</h1>\n<p class=muted>%d archived run(s) in <code>%s</code></p>\n",
 		len(runs), html.EscapeString(s.st.Dir()))
+	liveSection(&b, live)
 	b.WriteString(`<form class=metric method=get action=/>` +
 		`<input type=text name=metric placeholder="chart a metric path, e.g. topo.Sample.BlocksPerSec">` +
 		` <input type=submit value=Chart></form>` + "\n")
@@ -152,6 +161,10 @@ func (s *Server) handleRunPage(w http.ResponseWriter, r *http.Request) {
 	row("time", html.EscapeString(meta.Time))
 	row("payload", fmt.Sprintf(`<a href="/api/runs/%s/payload">payload.json</a> (%d bytes)`, url.PathEscape(id), len(payload)))
 	row("trace", traceCell(meta))
+	if meta.HasTrace() {
+		row("analytics", fmt.Sprintf(`<a href="/runs/%s/flame">flame</a> · <a href="/runs/%s/critpath">critical path</a>`,
+			url.PathEscape(id), url.PathEscape(id)))
+	}
 	b.WriteString("</table>\n")
 
 	if len(meta.Config) > 0 {
@@ -204,6 +217,26 @@ func runsTable(b *strings.Builder, runs []store.Meta) {
 			html.EscapeString(m.Commit), m.Seed, html.EscapeString(m.Time), trace)
 	}
 	b.WriteString("</table>\n")
+}
+
+// liveSection renders the in-flight runs currently publishing
+// telemetry (POST /api/live/update — the CLI's -live flag). Virtual
+// sim time advances much faster than the wall clock, so the row shows
+// both: simulated progress plus how recently the process reported.
+func liveSection(b *strings.Builder, live []liveEntry) {
+	if len(live) == 0 {
+		return
+	}
+	b.WriteString("<h2>Live runs</h2>\n")
+	b.WriteString("<table>\n<tr><th>scenario</th><th>seed</th><th>sim time</th><th>blocks</th><th>packets</th><th>backlog</th><th>updates</th><th>last update</th></tr>\n")
+	for _, e := range live {
+		st := e.Status
+		fmt.Fprintf(b, "<tr><td><code>%s</code></td><td>%d</td><td>%v</td><td>%d</td><td>%d / %d</td><td>%d</td><td>%d</td><td class=muted>%s</td></tr>\n",
+			html.EscapeString(st.Name), st.Seed, st.Now, st.Blocks,
+			st.Completed, st.Tracked, st.Backlog, e.Updates, html.EscapeString(fmtAge(time.Since(e.Updated))))
+	}
+	b.WriteString("</table>\n")
+	b.WriteString("<p class=muted>Updating every 3 s while runs are in flight; a finished run converts into an archived row below.</p>\n")
 }
 
 // trendSVG renders one metric's run sequence as an inline SVG line
@@ -377,15 +410,18 @@ func snapshotTables(b *strings.Builder, snap map[string]any) {
 	})
 }
 
-func pageHead(b *strings.Builder, title string) {
+func pageHead(b *strings.Builder, title string, extraHead ...string) {
 	fmt.Fprintf(b, `<!doctype html>
 <html lang=en>
 <meta charset=utf-8>
 <meta name=viewport content="width=device-width, initial-scale=1">
 <title>%s</title>
 <style>%s</style>
-<body>
 `, html.EscapeString(title), pageCSS)
+	for _, h := range extraHead {
+		b.WriteString(h + "\n")
+	}
+	b.WriteString("<body>\n")
 }
 
 func pageFoot(b *strings.Builder) {

@@ -1,0 +1,132 @@
+// Live run telemetry: in-flight experiments POST periodic progress
+// snapshots (topo.LiveConfig → the CLI's -live flag) into a session-
+// keyed in-memory registry, the dashboard and GET /api/live read them
+// back, and the finishing POST converts the session into an archived
+// run. The registry is deliberately not persisted — a live entry
+// describes a process that is still running; only the final result
+// document belongs in the store.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"ibcbench/internal/obs"
+)
+
+// liveEntry is one scenario execution's latest snapshot within a live
+// session. A sweep publishes one entry per (name, seed) pair under the
+// same session.
+type liveEntry struct {
+	Key     string         `json:"key"`
+	Session string         `json:"session"`
+	Updates int            `json:"updates"`
+	Updated time.Time      `json:"updated"`
+	Status  obs.LiveStatus `json:"status"`
+}
+
+// liveKey identifies one entry: runs of a sweep update independently,
+// sessions never collide.
+func liveKey(session string, st obs.LiveStatus) string {
+	return fmt.Sprintf("%s/%s/%d", session, st.Name, st.Seed)
+}
+
+// liveEntries snapshots the registry sorted by key.
+func (s *Server) liveEntries() []liveEntry {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	out := make([]liveEntry, 0, len(s.live))
+	for _, e := range s.live {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// handleLiveUpdate ingests one progress snapshot:
+// POST /api/live/update?session=<id> with an obs.LiveStatus body.
+func (s *Server) handleLiveUpdate(w http.ResponseWriter, r *http.Request) {
+	session := r.URL.Query().Get("session")
+	if session == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("live update needs ?session="))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var st obs.LiveStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad live status: %w", err))
+		return
+	}
+	key := liveKey(session, st)
+	s.liveMu.Lock()
+	e := s.live[key]
+	if e == nil {
+		e = &liveEntry{Key: key, Session: session}
+		s.live[key] = e
+	}
+	e.Status = st
+	e.Updates++
+	e.Updated = time.Now().UTC()
+	n := len(s.live)
+	s.liveMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "live": n})
+}
+
+// handleLiveList reports every in-flight entry.
+func (s *Server) handleLiveList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"live": s.liveEntries()})
+}
+
+// handleLiveFinish ends a live session:
+// POST /api/live/finish?session=<id>[&kind=&commit=&time=]. The
+// session's entries leave the live registry; a non-empty body is the
+// finished run's result document and is archived exactly like
+// /api/ingest, so the dashboard's live row converts into a stored run.
+func (s *Server) handleLiveFinish(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	session := q.Get("session")
+	if session == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("live finish needs ?session="))
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.liveMu.Lock()
+	removed := 0
+	for key, e := range s.live {
+		if e.Session == session {
+			delete(s.live, key)
+			removed++
+		}
+	}
+	s.liveMu.Unlock()
+	if len(payload) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"removed": removed})
+		return
+	}
+	kind := q.Get("kind")
+	if kind == "" {
+		kind = "experiment"
+	}
+	meta, created, err := s.st.Ingest(kind, q.Get("commit"), q.Get("time"), payload)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, map[string]any{"removed": removed, "meta": meta, "created": created})
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ibcbench/internal/obs"
+	"ibcbench/internal/store"
+)
+
+func postLive(t *testing.T, url string, body string) (map[string]any, int) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return out, resp.StatusCode
+}
+
+func liveStatusJSON(t *testing.T, st obs.LiveStatus) string {
+	t.Helper()
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestLiveLifecycle walks the full telemetry story: register a run via
+// updates, watch the entry accumulate, then finish the session with a
+// result document and see the live entry convert into an archived run.
+func TestLiveLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+	status := obs.LiveStatus{Name: "hub-3", Seed: 7, Now: 5e9, Blocks: 12, Tracked: 30, Completed: 20, Backlog: 10}
+
+	// Updates upsert one entry per (session, name, seed).
+	if _, code := postLive(t, ts.URL+"/api/live/update?session=s1", liveStatusJSON(t, status)); code != http.StatusOK {
+		t.Fatalf("update status=%d", code)
+	}
+	status.Blocks, status.Completed, status.Backlog = 24, 30, 0
+	postLive(t, ts.URL+"/api/live/update?session=s1", liveStatusJSON(t, status))
+
+	var list struct {
+		Live []liveEntry `json:"live"`
+	}
+	if code := getJSON(t, ts.URL+"/api/live", &list); code != http.StatusOK {
+		t.Fatalf("live list status=%d", code)
+	}
+	if len(list.Live) != 1 {
+		t.Fatalf("live entries = %d, want 1", len(list.Live))
+	}
+	e := list.Live[0]
+	if e.Key != "s1/hub-3/7" || e.Updates != 2 || e.Status.Blocks != 24 || e.Status.Backlog != 0 {
+		t.Fatalf("live entry %+v", e)
+	}
+
+	// The dashboard shows the live section and auto-refreshes only
+	// while something is in flight.
+	page, _ := getBody(t, ts.URL+"/")
+	for _, want := range []string{"Live runs", "hub-3", "http-equiv=refresh"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("live dashboard missing %q", want)
+		}
+	}
+
+	// Finishing with a result document archives it and clears the
+	// session.
+	out, code := postLive(t, ts.URL+"/api/live/finish?session=s1&commit=abc&time=2026-08-01T00:00:00Z",
+		doc("hub:3", 7, 0.9))
+	if code != http.StatusCreated {
+		t.Fatalf("finish status=%d: %v", code, out)
+	}
+	if out["removed"] != float64(1) || out["created"] != true {
+		t.Fatalf("finish response %v", out)
+	}
+	meta := out["meta"].(map[string]any)
+	id, _ := meta["id"].(string)
+	if id == "" {
+		t.Fatal("finish response missing archived run id")
+	}
+
+	getJSON(t, ts.URL+"/api/live", &list)
+	if len(list.Live) != 0 {
+		t.Fatalf("live entries after finish = %d, want 0", len(list.Live))
+	}
+	var runs struct {
+		Runs []store.Meta `json:"runs"`
+	}
+	getJSON(t, ts.URL+"/api/runs", &runs)
+	if len(runs.Runs) != 1 || runs.Runs[0].ID != id {
+		t.Fatalf("archived runs %+v, want the finished run %s", runs.Runs, id)
+	}
+	page, _ = getBody(t, ts.URL+"/")
+	if strings.Contains(page, "Live runs") || strings.Contains(page, "http-equiv=refresh") {
+		t.Error("dashboard still shows live section after finish")
+	}
+}
+
+// TestLiveValidation: updates and finishes need a session; malformed
+// status bodies are rejected; finishing an unknown session with no
+// payload is a harmless no-op.
+func TestLiveValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if _, code := postLive(t, ts.URL+"/api/live/update", `{}`); code != http.StatusBadRequest {
+		t.Errorf("sessionless update status=%d, want 400", code)
+	}
+	if _, code := postLive(t, ts.URL+"/api/live/update?session=s1", `{broken`); code != http.StatusBadRequest {
+		t.Errorf("malformed status status=%d, want 400", code)
+	}
+	if _, code := postLive(t, ts.URL+"/api/live/finish", ""); code != http.StatusBadRequest {
+		t.Errorf("sessionless finish status=%d, want 400", code)
+	}
+	out, code := postLive(t, ts.URL+"/api/live/finish?session=ghost", "")
+	if code != http.StatusOK || out["removed"] != float64(0) {
+		t.Errorf("ghost finish status=%d resp=%v, want 200/removed 0", code, out)
+	}
+}
+
+// TestLiveSessionsIsolated: two sessions publishing the same scenario
+// name+seed stay distinct, and finishing one leaves the other live.
+func TestLiveSessionsIsolated(t *testing.T) {
+	ts, _ := newTestServer(t)
+	st := obs.LiveStatus{Name: "mesh-4", Seed: 1}
+	postLive(t, ts.URL+"/api/live/update?session=a", liveStatusJSON(t, st))
+	postLive(t, ts.URL+"/api/live/update?session=b", liveStatusJSON(t, st))
+
+	var list struct {
+		Live []liveEntry `json:"live"`
+	}
+	getJSON(t, ts.URL+"/api/live", &list)
+	if len(list.Live) != 2 {
+		t.Fatalf("live entries = %d, want 2", len(list.Live))
+	}
+	postLive(t, ts.URL+"/api/live/finish?session=a", "")
+	getJSON(t, ts.URL+"/api/live", &list)
+	if len(list.Live) != 1 || list.Live[0].Session != "b" {
+		t.Fatalf("after finishing a: %+v", list.Live)
+	}
+}

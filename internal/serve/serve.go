@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 
 	"ibcbench/internal/resultdiff"
 	"ibcbench/internal/store"
@@ -24,25 +25,36 @@ import (
 // hundred KB; traces can reach tens of MB).
 const maxBodyBytes = 256 << 20
 
-// Server routes requests onto one open store.
+// Server routes requests onto one open store, plus an in-memory
+// registry of live (in-flight) runs publishing telemetry (live.go).
 type Server struct {
 	st  *store.Store
 	mux *http.ServeMux
+
+	liveMu sync.Mutex
+	live   map[string]*liveEntry
 }
 
 // New builds the HTTP handler over an open store.
 func New(st *store.Store) *Server {
-	s := &Server{st: st, mux: http.NewServeMux()}
+	s := &Server{st: st, mux: http.NewServeMux(), live: map[string]*liveEntry{}}
 	s.mux.HandleFunc("GET /api/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /api/runs/{id}", s.handleRun)
 	s.mux.HandleFunc("GET /api/runs/{id}/payload", s.handlePayload)
 	s.mux.HandleFunc("GET /api/runs/{id}/trace", s.handleTraceGet)
 	s.mux.HandleFunc("POST /api/runs/{id}/trace", s.handleTracePost)
+	s.mux.HandleFunc("GET /api/runs/{id}/flame", s.handleFlameAPI)
+	s.mux.HandleFunc("GET /api/runs/{id}/critpath", s.handleCritPathAPI)
 	s.mux.HandleFunc("POST /api/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /api/trend", s.handleTrend)
 	s.mux.HandleFunc("GET /api/regression", s.handleRegression)
 	s.mux.HandleFunc("GET /api/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /api/live", s.handleLiveList)
+	s.mux.HandleFunc("POST /api/live/update", s.handleLiveUpdate)
+	s.mux.HandleFunc("POST /api/live/finish", s.handleLiveFinish)
 	s.mux.HandleFunc("GET /runs/{id}", s.handleRunPage)
+	s.mux.HandleFunc("GET /runs/{id}/flame", s.handleFlamePage)
+	s.mux.HandleFunc("GET /runs/{id}/critpath", s.handleCritPathPage)
 	s.mux.HandleFunc("GET /{$}", s.handleDashboard)
 	return s
 }

@@ -58,17 +58,21 @@ func TestValidateLocatesFirstViolation(t *testing.T) {
 
 func TestValidateRejectsBrokenDocs(t *testing.T) {
 	cases := map[string]string{
-		"not-json":      `{"traceEvents": [`,
-		"not-object":    `[1, 2]`,
-		"no-events-key": `{"displayTimeUnit": "ms"}`,
-		"empty":         `{"traceEvents": []}`,
-		"unknown-phase": `{"traceEvents": [{"name":"x","ph":"Q","ts":0}]}`,
-		"negative-dur":  `{"traceEvents": [{"name":"x","ph":"X","ts":1,"dur":-2}]}`,
-		"negative-ts":   `{"traceEvents": [{"name":"x","ph":"i","ts":-1}]}`,
-		"id-less-async": `{"traceEvents": [{"name":"p","ph":"b","cat":"pkt","ts":0}]}`,
-		"unbalanced":    `{"traceEvents": [{"name":"p","ph":"b","cat":"pkt","id":"0x1","ts":0}]}`,
-		"end-no-begin":  `{"traceEvents": [{"name":"p","ph":"e","cat":"pkt","id":"0x1","ts":0}]}`,
-		"orphan-async":  `{"traceEvents": [{"name":"p","ph":"n","cat":"pkt","id":"0x1","ts":0}]}`,
+		"not-json":             `{"traceEvents": [`,
+		"not-object":           `[1, 2]`,
+		"no-events-key":        `{"displayTimeUnit": "ms"}`,
+		"empty":                `{"traceEvents": []}`,
+		"unknown-phase":        `{"traceEvents": [{"name":"x","ph":"Q","ts":0}]}`,
+		"negative-dur":         `{"traceEvents": [{"name":"x","ph":"X","ts":1,"dur":-2}]}`,
+		"negative-ts":          `{"traceEvents": [{"name":"x","ph":"i","ts":-1}]}`,
+		"id-less-async":        `{"traceEvents": [{"name":"p","ph":"b","cat":"pkt","ts":0}]}`,
+		"unbalanced":           `{"traceEvents": [{"name":"p","ph":"b","cat":"pkt","id":"0x1","ts":0}]}`,
+		"end-no-begin":         `{"traceEvents": [{"name":"p","ph":"e","cat":"pkt","id":"0x1","ts":0}]}`,
+		"orphan-async":         `{"traceEvents": [{"name":"p","ph":"n","cat":"pkt","id":"0x1","ts":0}]}`,
+		"instant-negative-dur": `{"traceEvents": [{"name":"x","ph":"i","ts":1,"dur":-2}]}`,
+		"ts-regression": `{"traceEvents": [
+{"name":"a","ph":"X","tid":1,"ts":5,"dur":1},
+{"name":"b","ph":"X","tid":1,"ts":4,"dur":1}]}`,
 	}
 	for name, doc := range cases {
 		if _, err := Validate([]byte(doc)); err == nil {
@@ -92,6 +96,97 @@ func TestValidateUnbalancedPointsAtBegin(t *testing.T) {
 	}
 	if verr.Index != 2 || verr.Line != 4 || verr.Name != "leaked" {
 		t.Fatalf("leak reported at index %d line %d name %q, want 2/4/leaked", verr.Index, verr.Line, verr.Name)
+	}
+}
+
+// TestValidateTSMonotonicPerTrack: timestamps may interleave across
+// tracks, but within one tid they must never decrease; the violation is
+// reported with the event's line and byte offset like every other.
+func TestValidateTSMonotonicPerTrack(t *testing.T) {
+	ok := `{"traceEvents":[
+{"ph":"X","tid":1,"ts":0,"dur":1,"name":"a"},
+{"ph":"X","tid":2,"ts":9,"dur":1,"name":"b"},
+{"ph":"X","tid":1,"ts":0,"dur":1,"name":"c"},
+{"ph":"X","tid":2,"ts":9,"dur":1,"name":"d"}
+]}`
+	if _, err := Validate([]byte(ok)); err != nil {
+		t.Fatalf("interleaved tracks rejected: %v", err)
+	}
+	bad := `{"traceEvents":[
+{"ph":"X","tid":1,"ts":5,"dur":1,"name":"first"},
+{"ph":"M","tid":1,"name":"thread_name","args":{"name":"late metadata is fine"}},
+{"ph":"X","tid":1,"ts":4,"dur":1,"name":"rewound"}
+]}`
+	_, err := Validate([]byte(bad))
+	var verr *Error
+	if !errors.As(err, &verr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if verr.Index != 2 || verr.Line != 4 || verr.Name != "rewound" {
+		t.Fatalf("violation at index %d line %d name %q, want 2/4/rewound (%v)", verr.Index, verr.Line, verr.Name, err)
+	}
+	if verr.Offset <= 0 || bad[verr.Offset] != '{' {
+		t.Fatalf("offset %d does not point at the event start", verr.Offset)
+	}
+	if !strings.Contains(err.Error(), "decreases") {
+		t.Fatalf("error %q does not mention the ts decrease", err)
+	}
+}
+
+// TestValidateNegativeDurAllPhases: negative durations are rejected on
+// every timing phase, not just complete spans.
+func TestValidateNegativeDurAllPhases(t *testing.T) {
+	for _, ph := range []string{"i", "b", "n", "e"} {
+		doc := `{"traceEvents":[
+{"ph":"b","cat":"pkt","id":"0x1","ts":0,"name":"open"},
+{"ph":"` + ph + `","cat":"pkt","id":"0x1","ts":1,"dur":-3,"name":"bad"},
+{"ph":"e","cat":"pkt","id":"0x1","ts":2,"name":"open"}
+]}`
+		_, err := Validate([]byte(doc))
+		var verr *Error
+		if !errors.As(err, &verr) {
+			t.Fatalf("phase %s: error type %T: %v", ph, err, err)
+		}
+		if verr.Name != "bad" || !strings.Contains(verr.Msg, "negative dur") {
+			t.Fatalf("phase %s: got %v, want negative-dur at event %q", ph, err, "bad")
+		}
+	}
+}
+
+// TestEventsStreamsDocumentOrder: the exported streaming reader hands
+// every event to the callback in document order with its location, and
+// surfaces metadata args (traceview resolves tid → track names from
+// thread_name rows).
+func TestEventsStreamsDocumentOrder(t *testing.T) {
+	var names []string
+	var lines []int
+	err := Events([]byte(validDoc), func(ev Event, index, line int, offset int64) error {
+		names = append(names, ev.Name)
+		lines = append(lines, line)
+		if index == 0 {
+			if ev.Phase != "M" || ev.Args.Name != "ibcbench" {
+				t.Fatalf("metadata args not decoded: %+v", ev)
+			}
+		}
+		if validDoc[offset] != '{' {
+			t.Fatalf("event %d offset %d does not point at the event start", index, offset)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"process_name", "block", "clear", "pkt", "recv", "pkt"}
+	if len(names) != len(want) {
+		t.Fatalf("streamed %d events, want %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("event %d name %q, want %q", i, names[i], n)
+		}
+		if lines[i] != i+2 {
+			t.Fatalf("event %d line %d, want %d", i, lines[i], i+2)
+		}
 	}
 }
 
