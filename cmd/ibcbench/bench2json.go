@@ -7,6 +7,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -15,6 +16,30 @@ import (
 	"strconv"
 	"strings"
 )
+
+// runBench2JSONCmd is the bench2json subcommand:
+//
+//	ibcbench bench2json bench_raw.txt [-out BENCH.json]
+func runBench2JSONCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ibcbench bench2json", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write the JSON metrics document here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: ibcbench bench2json bench.txt [-out BENCH.json]")
+	}
+	txtPath := fs.Arg(0)
+	if fs.NArg() > 1 {
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: ibcbench bench2json bench.txt [-out BENCH.json]")
+		}
+	}
+	return runBench2JSON(txtPath, *outPath, w)
+}
 
 // benchLineRE matches one result line: name, iteration count, then the
 // measurement fields.

@@ -6,6 +6,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"math"
@@ -14,6 +15,34 @@ import (
 
 	"ibcbench/internal/resultdiff"
 )
+
+// runDiffCmd is the diff subcommand:
+//
+//	ibcbench diff old.json new.json [-fail-on-change pct]
+//
+// Flags may come before or after the two positional files (flag
+// parsing stops at the first positional, so a second pass picks up
+// trailing flags).
+func runDiffCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ibcbench diff", flag.ContinueOnError)
+	failPct := fs.Float64("fail-on-change", -1, "exit nonzero when any metric moves beyond this tolerance in percent (negative = report only; skipped when the files' config headers mismatch)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("usage: ibcbench diff old.json new.json [-fail-on-change pct]")
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	if fs.NArg() > 2 {
+		if err := fs.Parse(fs.Args()[2:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: ibcbench diff old.json new.json [-fail-on-change pct]")
+		}
+	}
+	return runDiff(oldPath, newPath, *failPct, w)
+}
 
 // runDiff loads two -out result files and prints per-metric deltas.
 // A non-negative failPct arms the CI regression gate: a non-nil error is

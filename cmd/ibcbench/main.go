@@ -1,58 +1,48 @@
 // Command ibcbench is the performance-analysis tool of the paper: it
-// deploys the simulated two-chain testbed, runs the benchmark workloads
-// and prints execution reports for every table and figure of the
-// evaluation section.
+// deploys the simulated multi-chain testbed, runs the benchmark
+// workloads and scenario specs, and prints execution reports for every
+// table and figure of the evaluation section.
 //
 // Usage:
 //
-//	ibcbench -experiment all            # everything (slow)
-//	ibcbench -experiment fig8 -seeds 5  # one artifact
-//	ibcbench -experiment fig12 -transfers 5000
-//	ibcbench -experiment topo -topology hub:4 -rate 20
-//	ibcbench -experiment topo -forwarding          # routes via packet forwarding
-//	ibcbench -experiment forward -topology line:4  # forwarded vs sequential curves
-//	ibcbench -experiment topo -regions 3wan        # geo-distributed deployment
-//	ibcbench -experiment failover -regions 3wan    # standby takeover vs fault window
-//	ibcbench -experiment votescale -topology two   # validator-set scaling sweep
-//	ibcbench -experiment topo -validators 16       # 16-validator chains
-//	ibcbench -experiment topo -parallel 4          # partitioned intra-run execution
-//	ibcbench -experiment meshscale -parallel 8     # serial-vs-parallel speedup grid
-//	ibcbench -experiment topo -out results.json    # persist results as JSON
-//	ibcbench -diff old.json new.json               # compare two -out files
-//	ibcbench -diff old.json new.json -fail-on-change 10   # CI regression gate
-//	ibcbench -bench2json bench.txt -out BENCH.json # go-bench output -> JSON doc
-//	ibcbench -trace trace.json -topology hub:3     # Perfetto trace of one run
-//	ibcbench -trace-summary -topology hub:3        # top spans by total/self time
-//	ibcbench -validate-trace trace.json            # structural trace check
-//	ibcbench -trace-analyze trace.json -top 30     # flame tree + critical-path tables
-//	ibcbench -experiment failover -live :8321      # stream live telemetry to serve
-//	ibcbench -experiment topo -cpuprofile cpu.out  # profile the run (go tool pprof)
-//	ibcbench -experiment topo -store runs/         # archive the result document
-//	ibcbench serve -store runs/ -addr :8321        # HTTP dashboard over the store
+//	ibcbench <subcommand> [flags]
+//
+//	ibcbench sweep -experiment all           # every experiment (slow)
+//	ibcbench sweep -experiment fig8 -seeds 5 # one artifact
+//	ibcbench sweep -experiment topo -topology hub:4 -rate 20
+//	ibcbench run -scenario spec.json         # one declarative scenario
+//	ibcbench run -name failover              # a built-in scenario
+//	ibcbench suite -short                    # smoke the scenario library
+//	ibcbench suite -lint                     # registry round-trip lint
+//	ibcbench search -scenario spec.json -budget 32  # seeded chaos search
+//	ibcbench trace -out trace.json -topology hub:3  # Perfetto trace
+//	ibcbench trace -analyze trace.json -top 30      # flame/critical path
+//	ibcbench diff old.json new.json -fail-on-change 10
+//	ibcbench bench2json bench.txt -out BENCH.json
+//	ibcbench serve -store runs/ -addr :8321  # HTTP dashboard over a store
+//
+// The original flat-flag invocation (`ibcbench -experiment topo ...`,
+// `-trace`, `-diff old new`, `-bench2json`) still works as a deprecated
+// alias for the corresponding subcommand and stays byte-identical on
+// stdout; the deprecation note goes to stderr.
 //
 // Sweeps fan (config, seed) executions out over a worker pool
 // (-workers, default GOMAXPROCS); results are identical to serial runs.
 // With -out, every experiment that ran dumps its result structs — plus
 // a config header (topology, region preset, netem config, seed) — to
 // one JSON document for cross-PR regression tracking of reproduced
-// figures; -diff compares two such documents metric by metric and
-// warns when their config headers disagree.
+// figures; `ibcbench diff` compares two such documents metric by metric
+// and warns when their config headers disagree.
 package main
 
 import (
-	"encoding/json"
-	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
-	"strconv"
 	"strings"
-	"time"
 
 	"ibcbench/internal/experiments"
-	"ibcbench/internal/netem"
-	"ibcbench/internal/topo"
+	"ibcbench/internal/scenario"
 )
 
 func main() {
@@ -62,355 +52,62 @@ func main() {
 	}
 }
 
+// subcommands maps each subcommand to its driver, in help order.
+var subcommands = []struct {
+	name string
+	desc string
+	run  func(args []string, w io.Writer) error
+}{
+	{"run", "execute one declarative scenario spec (-scenario FILE | -name NAME) and check its assertions", runScenarioCmd},
+	{"sweep", "run the paper's experiments (-experiment NAME|all); the old flat-flag driver", runSweep},
+	{"search", "seeded chaos search over a spec's declared fault space; shrinks violations to a minimal replay", runSearchCmd},
+	{"suite", "run (or -lint) every registered scenario and report assertion verdicts", runSuiteCmd},
+	{"trace", "record (-out), summarize (-summary), validate (-validate) or analyze (-analyze) a Chrome trace", runTraceCmd},
+	{"diff", "compare two result documents metric by metric (old.json new.json [-fail-on-change pct])", runDiffCmd},
+	{"serve", "HTTP dashboard + ingest/queue API over an experiment store", runServe},
+	{"bench2json", "convert `go test -bench` output to a JSON metrics document", runBench2JSONCmd},
+}
+
 func run(args []string) error {
-	if len(args) > 0 && args[0] == "serve" {
-		return runServe(args[1:], os.Stdout)
-	}
-	fs := flag.NewFlagSet("ibcbench", flag.ContinueOnError)
-	var (
-		exp        = fs.String("experiment", "all", "fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|fig13|gas|ws|topo|forward|failover|votescale|meshscale|all")
-		seeds      = fs.Int("seeds", 3, "executions per configuration (paper: 20)")
-		windows    = fs.Int("windows", 0, "submission block windows (0 = paper default)")
-		transfers  = fs.Int("transfers", 5000, "transfers for fig12/fig13")
-		seed       = fs.Int64("seed", 42, "base RNG seed")
-		topology   = fs.String("topology", "hub:4", "topo/forward/failover experiment graph: two|line:n|hub:n|mesh:n")
-		rate       = fs.Int("rate", 20, "per-edge input rate (rps) for topo/failover; transfers per route for forward")
-		regions    = fs.String("regions", "", "geo region preset for topo/failover deployments: 3wan|hubspoke:n|uniform:k (\"\" = the paper's uniform WAN)")
-		validators = fs.String("validators", "", "validator-set sizes: votescale sweeps the comma list (default 4,8,12,16,24,32); other topology experiments use the first value (\"\" = the paper's 5)")
-		forwarding = fs.Bool("forwarding", false, "run topo multi-hop routes through the packet-forward middleware instead of sequential legs")
-		workers    = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
-		parallel   = fs.Int("parallel", 0, "intra-run partitioned workers: split each simulation's chains over N OS workers with byte-identical results (0/1 = serial scheduler); also the worker count of -experiment meshscale")
-		out        = fs.String("out", "", "write every experiment's result as JSON to this file (cross-PR regression tracking)")
-		storeDir   = fs.String("store", "", "archive the result document (the -out payload) into this experiment-store directory; browse it with `ibcbench serve -store DIR`")
-		diffOld    = fs.String("diff", "", "compare this -out result file against the positional argument and exit")
-		failPct    = fs.Float64("fail-on-change", -1, "with -diff: exit nonzero when any metric moves beyond this tolerance in percent (negative = report only; skipped when the files' config headers mismatch)")
-		benchTxt   = fs.String("bench2json", "", "convert `go test -bench` output in this file to a JSON metrics document (written to -out, default stdout) and exit")
-		tracePath  = fs.String("trace", "", "run one instrumented -topology scenario and write a Chrome trace-event file (Perfetto-loadable) here, then exit")
-		traceSum   = fs.Bool("trace-summary", false, "with or without -trace: run one instrumented scenario and print the top spans by total/self time per subsystem")
-		traceCheck = fs.String("validate-trace", "", "structurally validate a -trace output file (JSON shape, span timing, async begin/end balance) and exit")
-		traceAna   = fs.String("trace-analyze", "", "analyze an exported -trace file: flame span tree plus per-packet critical-path latency tables, then exit")
-		topN       = fs.Int("top", 20, "row cap for -trace-summary and -trace-analyze tables (0 = unlimited)")
-		liveAddr   = fs.String("live", "", "stream live run telemetry to an `ibcbench serve` address (host:port) and archive the result there when the run completes")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
-		memProfile = fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
-	)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *benchTxt != "" {
-		return runBench2JSON(*benchTxt, *out, os.Stdout)
-	}
-	if *traceCheck != "" {
-		return runValidateTrace(*traceCheck, os.Stdout)
-	}
-	if *traceAna != "" {
-		return runTraceAnalyze(*traceAna, *topN, os.Stdout)
-	}
-	if *diffOld != "" {
-		if fs.NArg() < 1 {
-			return fmt.Errorf("usage: ibcbench -diff old.json new.json [-fail-on-change pct]")
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name, rest := args[0], args[1:]
+		if name == "help" {
+			printUsage(os.Stdout)
+			return nil
 		}
-		newPath := fs.Arg(0)
-		// Flag parsing stops at the positional new.json; pick up trailing
-		// flags (-fail-on-change after the file names) with a second pass.
-		if fs.NArg() > 1 {
-			if err := fs.Parse(fs.Args()[1:]); err != nil {
-				return err
-			}
-			if fs.NArg() != 0 {
-				return fmt.Errorf("usage: ibcbench -diff old.json new.json [-fail-on-change pct]")
+		for _, sc := range subcommands {
+			if sc.name == name {
+				return sc.run(rest, os.Stdout)
 			}
 		}
-		return runDiff(*diffOld, newPath, *failPct, os.Stdout)
+		return fmt.Errorf("ibcbench: unknown subcommand %q (see `ibcbench help`)", name)
 	}
-	valSizes, err := parseValidatorList(*validators)
-	if err != nil {
-		return err
-	}
-	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers, Regions: *regions, Parallel: *parallel}
-	if len(valSizes) > 0 {
-		opt.Validators = valSizes[0]
-	}
-	// Profiling brackets everything from here on — the simulation work.
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProfile)
-		}()
-	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // settle the heap so the profile shows retained allocations
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-				return
-			}
-			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProfile)
-		}()
-	}
-	var lc *liveClient
-	if *liveAddr != "" {
-		lc = newLiveClient(*liveAddr)
-		opt.Live = &topo.LiveConfig{Hook: lc.Hook}
-	}
-	// The config header identifies what produced a result document;
-	// -diff warns field by field when comparing results whose headers
-	// disagree, and the store's trend/regression analysis treats runs
-	// with differing headers as incompatible trajectories.
-	cfgHeader := func() map[string]any {
-		return map[string]any{
-			"experiment": *exp, "seeds": *seeds, "windows": *windows,
-			"transfers": *transfers, "seed": *seed, "topology": *topology,
-			"rate": *rate, "regions": *regions, "forwarding": *forwarding,
-			"validators": *validators, "parallel": *parallel,
-			"netem": netem.DefaultWAN(),
-		}
-	}
-	if *tracePath != "" || *traceSum {
-		err := runTrace(opt, *topology, *rate, *forwarding, *seed, *tracePath, *traceSum, *topN,
-			*storeDir, cfgHeader(), os.Stdout)
-		if lc != nil {
-			// The traced run archives locally (-store); just clear the
-			// session's live entries on the service.
-			lc.Finish("", "", nil)
-		}
-		return err
-	}
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	report := map[string]any{}
-	record := func(key string, v any) {
-		if *out != "" || *storeDir != "" || lc != nil {
-			report[key] = v
-		}
-	}
-
-	if want("fig6") || want("fig7") || want("table1") {
-		res := experiments.Tendermint(opt)
-		record("tendermint", res)
-		res.Fig6.Render(os.Stdout)
-		fmt.Println()
-		res.Fig7.Render(os.Stdout)
-		fmt.Println("\n# Table I: execution summary")
-		fmt.Printf("%-10s %-12s %-14s %-12s\n", "rate", "requested", "submitted", "committed")
-		for _, r := range res.Table1 {
-			fmt.Printf("%-10d %-12d %-8d(%.1f%%) %-8d(%.1f%%)\n", r.Rate, r.Requested,
-				r.Submitted, pct(r.Submitted, r.Requested),
-				r.Committed, pct(r.Committed, r.Submitted))
-		}
-		fmt.Println()
-	}
-	for _, cfg := range []struct {
-		name     string
-		relayers int
-		lan      bool
-	}{
-		{"fig8", 1, false}, {"fig8-lan", 1, true},
-		{"fig9", 2, false}, {"fig9-lan", 2, true},
-	} {
-		if !want(cfg.name) && !want("fig10") && !want("fig11") {
-			continue
-		}
-		if (cfg.name == "fig8" || cfg.name == "fig8-lan") && !want("fig8") && !want("fig10") {
-			continue
-		}
-		if (cfg.name == "fig9" || cfg.name == "fig9-lan") && !want("fig9") && !want("fig11") {
-			continue
-		}
-		pts := experiments.RelayerSweep(opt, cfg.relayers, cfg.lan)
-		record(cfg.name, pts)
-		fmt.Printf("# %s: %d relayer(s), lan=%v (Figs. 8-11)\n", cfg.name, cfg.relayers, cfg.lan)
-		fmt.Printf("%-8s %-10s %-11s %-9s %-10s %-13s %-10s\n",
-			"rate", "TFPS", "completed", "partial", "initiated", "notcommitted", "redundant")
-		for _, p := range pts {
-			fmt.Printf("%-8d %-10.1f %-11.0f %-9.0f %-10.0f %-13.0f %-10.0f\n",
-				p.Rate, p.Throughput.Mean, p.Completed, p.Partial, p.Initiated,
-				p.NotCommitted, p.RedundantErrors)
-		}
-		fmt.Println()
-	}
-	if want("fig12") {
-		res := experiments.Fig12(*transfers, *seed)
-		record("fig12", res)
-		fmt.Printf("# Fig12: %d transfers in one block — 13-step breakdown\n", res.Transfers)
-		fmt.Printf("%-28s %-12s %-12s\n", "step", "first", "last")
-		for _, s := range res.Steps {
-			fmt.Printf("%-28s %-12s %-12s\n", s.Step, fmtSec(s.First), fmtSec(s.Last))
-		}
-		fmt.Printf("completed: %d/%d  total: %s\n", res.Completed, res.Transfers, fmtSec(res.Total))
-		fmt.Printf("phases: transfer=%s receive=%s ack=%s\n",
-			fmtSec(res.TransferPhase), fmtSec(res.ReceivePhase), fmtSec(res.AckPhase))
-		pulls := res.TransferDataPull + res.RecvDataPull
-		fmt.Printf("data pulls: %s (%.0f%% of total; paper: 69%%)\n\n",
-			fmtSec(pulls), 100*pulls.Seconds()/res.Total.Seconds())
-	}
-	if want("fig13") {
-		rows := experiments.Fig13(*transfers, nil, *seed)
-		record("fig13", rows)
-		fmt.Printf("# Fig13: %d transfers, submission spread over N blocks\n", *transfers)
-		fmt.Printf("%-10s %-14s %-10s\n", "blocks", "completion", "completed")
-		for _, r := range rows {
-			fmt.Printf("%-10d %-14s %-10d\n", r.Blocks, fmtSec(r.Completion), r.Completed)
-		}
-		fmt.Println()
-	}
-	if want("gas") {
-		rows := experiments.GasTable(*seed)
-		record("gas", rows)
-		fmt.Println("# Gas per 100-message transaction class (§IV-A)")
-		fmt.Printf("%-22s %-12s %-12s\n", "class", "measured", "paper")
-		for _, r := range rows {
-			fmt.Printf("%-22s %-12d %-12d\n", r.MsgType, r.Measured, r.Paper)
-		}
-		fmt.Println()
-	}
-	if want("topo") {
-		res, err := experiments.TopologySweepMode(opt, *topology, *rate, *forwarding)
-		if err != nil {
-			return err
-		}
-		record("topo", res)
-		res.Render(os.Stdout)
-		fmt.Println()
-	}
-	if want("forward") {
-		// Latency-vs-hops: both route modes side by side from one run per
-		// hop count. The default hub graph reproduces the paper-style hub
-		// scenario (spoke -> hub -> spoke).
-		res, err := experiments.ForwardingComparison(opt, *topology, *rate)
-		if err != nil {
-			return err
-		}
-		record("forward", res)
-		res.Render(os.Stdout)
-		fmt.Println()
-	}
-	if want("failover") {
-		// Relayer failover: supervised standbys under primary-host
-		// partitions of increasing duration (packet-latency and
-		// cleared-backlog curves across fault windows).
-		res, err := experiments.Failover(opt, *topology, *rate)
-		if err != nil {
-			return err
-		}
-		record("failover", res)
-		res.Render(os.Stdout)
-		fmt.Println()
-	}
-	if want("votescale") {
-		// Validator-scaling: the shared vote-verification engine makes
-		// set size an affordable axis; blocks/s stays flat (virtual
-		// timing) while wall cost grows ~linearly instead of quadratically.
-		res, err := experiments.VoteScale(opt, *topology, *rate, valSizes)
-		if err != nil {
-			return err
-		}
-		record("votescale", res)
-		res.Render(os.Stdout)
-		fmt.Println()
-	}
-	if want("meshscale") {
-		// Serial-vs-parallel scaling: each cell runs the same full-mesh
-		// scenario on both runners, checks result-fingerprint equality
-		// and reports the wall-clock speedup curve.
-		chains := experiments.DefaultMeshScaleChains
-		if strings.HasPrefix(*topology, "mesh:") {
-			n, err := strconv.Atoi(strings.TrimPrefix(*topology, "mesh:"))
-			if err != nil || n < 2 {
-				return fmt.Errorf("ibcbench: -experiment meshscale needs -topology mesh:n with n >= 2 (got %q)", *topology)
-			}
-			chains = []int{n}
-		}
-		res, err := experiments.MeshScale(opt, chains, *parallel)
-		if err != nil {
-			return err
-		}
-		record("meshscale", res)
-		res.Render(os.Stdout)
-		fmt.Println()
-	}
-	if want("ws") {
-		res := experiments.WebSocketLimit(*seed, 1000, 60)
-		record("ws", res)
-		fmt.Println("# WebSocket frame-limit experiment (§V)")
-		fmt.Printf("transfers=%d framesLost=%d\n", res.Transfers, res.FramesLost)
-		fmt.Printf("completed: %d (%.1f%%)  timed out: %d (%.1f%%)  stuck: %d (%.1f%%)\n",
-			res.Completed, pct(res.Completed, res.Transfers),
-			int(res.TimedOut), pct(int(res.TimedOut), res.Transfers),
-			res.Stuck, pct(res.Stuck, res.Transfers))
-		fmt.Println("paper: 2.5% completed / 15.7% timed out / 81.8% stuck")
-	}
-	if *out != "" || *storeDir != "" || lc != nil {
-		report["config"] = cfgHeader()
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return fmt.Errorf("marshal results: %w", err)
-		}
-		data = append(data, '\n')
-		if *out != "" {
-			if err := os.WriteFile(*out, data, 0o644); err != nil {
-				return fmt.Errorf("write %s: %w", *out, err)
-			}
-			fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
-		}
-		if *storeDir != "" {
-			if err := archiveRun(*storeDir, "experiment", data, nil, false, os.Stderr); err != nil {
-				return err
-			}
-		}
-		if lc != nil {
-			meta := experiments.CaptureRunMeta()
-			id, created, err := lc.Finish("experiment", meta.Commit, data)
-			if err != nil {
-				return fmt.Errorf("live finish: %w", err)
-			}
-			note := ""
-			if !created {
-				note = " (already archived)"
-			}
-			fmt.Fprintf(os.Stderr, "live: archived run %s%s\n", id, note)
-		}
-	}
-	return nil
+	// Flat-flag invocation predates the subcommands; it remains the
+	// sweep driver (which also hosts the legacy -trace/-diff/-bench2json
+	// dispatch flags) so existing scripts keep working byte-identically
+	// on stdout. The note must stay on stderr: CI greps sweep stdout.
+	fmt.Fprintln(os.Stderr, "note: flat-flag invocation is deprecated; use `ibcbench sweep` (see `ibcbench help`)")
+	return runSweep(args, os.Stdout)
 }
 
-// parseValidatorList parses the -validators comma list ("" = nil).
-func parseValidatorList(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
+func printUsage(w io.Writer) {
+	fmt.Fprintln(w, "usage: ibcbench <subcommand> [flags]")
+	fmt.Fprintln(w, "\nsubcommands (each accepts -h for its flags):")
+	for _, sc := range subcommands {
+		fmt.Fprintf(w, "  %-11s %s\n", sc.name, sc.desc)
 	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("ibcbench: -validators %q: each entry must be a positive integer", s)
+	fmt.Fprintln(w, "\nexperiments (ibcbench sweep -experiment X):")
+	for _, e := range experiments.Registry() {
+		fmt.Fprintf(w, "  %-11s %s\n", e.Name, e.Desc)
+	}
+	fmt.Fprintf(w, "  selectors: %s|all\n", strings.Join(experiments.Selectors(), "|"))
+	fmt.Fprintln(w, "\nscenarios (ibcbench run -name X; * = in `suite -short`):")
+	for _, name := range scenario.Names() {
+		e, _ := scenario.Lookup(name)
+		mark := " "
+		if e.Short {
+			mark = "*"
 		}
-		out = append(out, v)
+		fmt.Fprintf(w, " %s%-11s %s\n", mark, name, e.Desc)
 	}
-	return out, nil
-}
-
-func pct(a, b int) float64 {
-	if b == 0 {
-		return 0
-	}
-	return 100 * float64(a) / float64(b)
-}
-
-func fmtSec(d time.Duration) string {
-	return fmt.Sprintf("%.1fs", d.Seconds())
 }

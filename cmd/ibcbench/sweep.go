@@ -1,0 +1,233 @@
+// The sweep driver: the paper's experiment suite behind one flag set.
+// This is also the flat-flag compatibility surface — `ibcbench
+// -experiment topo ...` lands here unchanged, so the flag set, the
+// config header and the stdout rendering must stay byte-compatible
+// with the pre-subcommand CLI (the VIRT regression gate diffs -out
+// documents across revisions).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+
+	"ibcbench/internal/experiments"
+	"ibcbench/internal/netem"
+	"ibcbench/internal/topo"
+)
+
+// runSweep executes the selected experiments:
+//
+//	ibcbench sweep -experiment topo -topology hub:4 -rate 20 [...]
+//
+// It also hosts the legacy dispatch flags (-trace, -diff, -bench2json,
+// -validate-trace, -trace-analyze) so the deprecated flat invocation
+// keeps working through the same code path as before.
+func runSweep(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ibcbench sweep", flag.ContinueOnError)
+	var (
+		exp        = fs.String("experiment", "all", strings.Join(experiments.Selectors(), "|")+"|all")
+		seeds      = fs.Int("seeds", 3, "executions per configuration (paper: 20)")
+		windows    = fs.Int("windows", 0, "submission block windows (0 = paper default)")
+		transfers  = fs.Int("transfers", 5000, "transfers for fig12/fig13")
+		seed       = fs.Int64("seed", 42, "base RNG seed")
+		topology   = fs.String("topology", "hub:4", "topo/forward/failover experiment graph: two|line:n|hub:n|mesh:n")
+		rate       = fs.Int("rate", 20, "per-edge input rate (rps) for topo/failover; transfers per route for forward")
+		regions    = fs.String("regions", "", "geo region preset for topo/failover deployments: 3wan|hubspoke:n|uniform:k (\"\" = the paper's uniform WAN)")
+		validators = fs.String("validators", "", "validator-set sizes: votescale sweeps the comma list (default 4,8,12,16,24,32); other topology experiments use the first value (\"\" = the paper's 5)")
+		forwarding = fs.Bool("forwarding", false, "run topo multi-hop routes through the packet-forward middleware instead of sequential legs")
+		workers    = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+		parallel   = fs.Int("parallel", 0, "intra-run partitioned workers: split each simulation's chains over N OS workers with byte-identical results (0/1 = serial scheduler); also the worker count of -experiment meshscale")
+		out        = fs.String("out", "", "write every experiment's result as JSON to this file (cross-PR regression tracking)")
+		storeDir   = fs.String("store", "", "archive the result document (the -out payload) into this experiment-store directory; browse it with `ibcbench serve -store DIR`")
+		diffOld    = fs.String("diff", "", "compare this -out result file against the positional argument and exit (deprecated alias for `ibcbench diff`)")
+		failPct    = fs.Float64("fail-on-change", -1, "with -diff: exit nonzero when any metric moves beyond this tolerance in percent (negative = report only; skipped when the files' config headers mismatch)")
+		benchTxt   = fs.String("bench2json", "", "convert `go test -bench` output in this file to a JSON metrics document (written to -out, default stdout) and exit (deprecated alias for `ibcbench bench2json`)")
+		tracePath  = fs.String("trace", "", "run one instrumented -topology scenario and write a Chrome trace-event file (Perfetto-loadable) here, then exit (deprecated alias for `ibcbench trace -out`)")
+		traceSum   = fs.Bool("trace-summary", false, "with or without -trace: run one instrumented scenario and print the top spans by total/self time per subsystem")
+		traceCheck = fs.String("validate-trace", "", "structurally validate a -trace output file (JSON shape, span timing, async begin/end balance) and exit (deprecated alias for `ibcbench trace -validate`)")
+		traceAna   = fs.String("trace-analyze", "", "analyze an exported -trace file: flame span tree plus per-packet critical-path latency tables, then exit (deprecated alias for `ibcbench trace -analyze`)")
+		topN       = fs.Int("top", 20, "row cap for -trace-summary and -trace-analyze tables (0 = unlimited)")
+		liveAddr   = fs.String("live", "", "stream live run telemetry to an `ibcbench serve` address (host:port) and archive the result there when the run completes")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *benchTxt != "" {
+		return runBench2JSON(*benchTxt, *out, w)
+	}
+	if *traceCheck != "" {
+		return runValidateTrace(*traceCheck, w)
+	}
+	if *traceAna != "" {
+		return runTraceAnalyze(*traceAna, *topN, w)
+	}
+	if *diffOld != "" {
+		if fs.NArg() < 1 {
+			return fmt.Errorf("usage: ibcbench -diff old.json new.json [-fail-on-change pct]")
+		}
+		newPath := fs.Arg(0)
+		// Flag parsing stops at the positional new.json; pick up trailing
+		// flags (-fail-on-change after the file names) with a second pass.
+		if fs.NArg() > 1 {
+			if err := fs.Parse(fs.Args()[1:]); err != nil {
+				return err
+			}
+			if fs.NArg() != 0 {
+				return fmt.Errorf("usage: ibcbench -diff old.json new.json [-fail-on-change pct]")
+			}
+		}
+		return runDiff(*diffOld, newPath, *failPct, w)
+	}
+	valSizes, err := parseValidatorList(*validators)
+	if err != nil {
+		return err
+	}
+	opt := experiments.Options{Seeds: *seeds, Windows: *windows, Workers: *workers, Regions: *regions, Parallel: *parallel}
+	if len(valSizes) > 0 {
+		opt.Validators = valSizes[0]
+	}
+	// Profiling brackets everything from here on — the simulation work.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProfile)
+		}()
+	}
+	var lc *liveClient
+	if *liveAddr != "" {
+		lc = newLiveClient(*liveAddr)
+		opt.Live = &topo.LiveConfig{Hook: lc.Hook}
+	}
+	// The config header identifies what produced a result document;
+	// `ibcbench diff` warns field by field when comparing results whose
+	// headers disagree, and the store's trend/regression analysis treats
+	// runs with differing headers as incompatible trajectories.
+	cfgHeader := func() map[string]any {
+		return map[string]any{
+			"experiment": *exp, "seeds": *seeds, "windows": *windows,
+			"transfers": *transfers, "seed": *seed, "topology": *topology,
+			"rate": *rate, "regions": *regions, "forwarding": *forwarding,
+			"validators": *validators, "parallel": *parallel,
+			"netem": netem.DefaultWAN(),
+		}
+	}
+	if *tracePath != "" || *traceSum {
+		err := runTrace(opt, *topology, *rate, *forwarding, *seed, *tracePath, *traceSum, *topN,
+			*storeDir, cfgHeader(), w)
+		if lc != nil {
+			// The traced run archives locally (-store); just clear the
+			// session's live entries on the service.
+			lc.Finish("", "", nil)
+		}
+		return err
+	}
+	selected, err := experiments.Select(*exp)
+	if err != nil {
+		return err
+	}
+	report := map[string]any{}
+	record := func(key string, v any) {
+		if *out != "" || *storeDir != "" || lc != nil {
+			report[key] = v
+		}
+	}
+	ctx := experiments.RunContext{
+		Opt:        opt,
+		Seed:       *seed,
+		Transfers:  *transfers,
+		Topology:   *topology,
+		Rate:       *rate,
+		Forwarding: *forwarding,
+		Validators: valSizes,
+		Parallel:   *parallel,
+		Out:        w,
+		Record:     record,
+	}
+	for _, e := range selected {
+		if err := e.Run(ctx); err != nil {
+			return err
+		}
+	}
+	if *out != "" || *storeDir != "" || lc != nil {
+		report["config"] = cfgHeader()
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal results: %w", err)
+		}
+		data = append(data, '\n')
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", *out, err)
+			}
+			fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
+		}
+		if *storeDir != "" {
+			if err := archiveRun(*storeDir, "experiment", data, nil, false, os.Stderr); err != nil {
+				return err
+			}
+		}
+		if lc != nil {
+			meta := experiments.CaptureRunMeta()
+			id, created, err := lc.Finish("experiment", meta.Commit, data)
+			if err != nil {
+				return fmt.Errorf("live finish: %w", err)
+			}
+			note := ""
+			if !created {
+				note = " (already archived)"
+			}
+			fmt.Fprintf(os.Stderr, "live: archived run %s%s\n", id, note)
+		}
+	}
+	return nil
+}
+
+// parseValidatorList parses the -validators comma list ("" = nil).
+func parseValidatorList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("ibcbench: -validators %q: each entry must be a positive integer", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -10,17 +10,64 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
 	"ibcbench/internal/experiments"
+	"ibcbench/internal/netem"
 	"ibcbench/internal/obs"
 	"ibcbench/internal/topo"
 	"ibcbench/internal/tracecheck"
 	"ibcbench/internal/traceview"
 )
+
+// runTraceCmd is the trace subcommand, covering all four trace modes:
+//
+//	ibcbench trace -out trace.json -topology hub:3 [-summary] [-store DIR]
+//	ibcbench trace -summary -topology hub:3     # tables only, no file
+//	ibcbench trace -validate trace.json         # structural check
+//	ibcbench trace -analyze trace.json -top 30  # flame + critical path
+func runTraceCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ibcbench trace", flag.ContinueOnError)
+	var (
+		outPath    = fs.String("out", "", "write the instrumented run's Chrome trace-event file (Perfetto-loadable) here")
+		summary    = fs.Bool("summary", false, "print the top spans by total/self time per subsystem")
+		checkPath  = fs.String("validate", "", "structurally validate this exported trace file and exit")
+		anaPath    = fs.String("analyze", "", "analyze this exported trace file (flame tree + critical-path tables) and exit")
+		topN       = fs.Int("top", 20, "row cap for -summary and -analyze tables (0 = unlimited)")
+		topology   = fs.String("topology", "hub:4", "instrumented scenario graph: two|line:n|hub:n|mesh:n")
+		rate       = fs.Int("rate", 20, "per-edge input rate (rps)")
+		forwarding = fs.Bool("forwarding", false, "route multi-hop traffic through the packet-forward middleware")
+		seed       = fs.Int64("seed", 42, "RNG seed of the traced run")
+		windows    = fs.Int("windows", 0, "submission block windows (0 = paper default)")
+		regions    = fs.String("regions", "", "geo region preset: 3wan|hubspoke:n|uniform:k (\"\" = uniform WAN)")
+		storeDir   = fs.String("store", "", "archive the traced result (trace attached) into this experiment-store directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *checkPath != "" {
+		return runValidateTrace(*checkPath, w)
+	}
+	if *anaPath != "" {
+		return runTraceAnalyze(*anaPath, *topN, w)
+	}
+	if *outPath == "" && !*summary && *storeDir == "" {
+		return fmt.Errorf("usage: ibcbench trace -out trace.json|-summary|-validate FILE|-analyze FILE [flags]")
+	}
+	opt := experiments.Options{Seeds: 1, Windows: *windows, Regions: *regions}
+	cfg := map[string]any{
+		"experiment": "trace", "seeds": 1, "windows": *windows,
+		"transfers": 0, "seed": *seed, "topology": *topology,
+		"rate": *rate, "regions": *regions, "forwarding": *forwarding,
+		"validators": "", "parallel": 0,
+		"netem": netem.DefaultWAN(),
+	}
+	return runTrace(opt, *topology, *rate, *forwarding, *seed, *outPath, *summary, *topN, *storeDir, cfg, w)
+}
 
 // runTrace executes one seed of the topo scenario with observability
 // attached, optionally writes the Chrome trace and/or prints the span

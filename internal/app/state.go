@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 
 	"ibcbench/internal/merkle"
 )
@@ -270,3 +271,23 @@ func (s *State) FullProofs() bool { return s.fullProofs }
 
 // Len reports the number of live keys (staged writes excluded).
 func (s *State) Len() int { return len(s.data) }
+
+// RangePrefix visits every committed key with the given prefix in
+// ascending key order (staged in-tx writes excluded), stopping early if
+// fn returns false. Deterministic iteration is the point: invariant
+// checkers enumerate `supply/` and `commitments/` ranges and must see
+// identical order across same-seed runs.
+func (s *State) RangePrefix(prefix string, fn func(key string, value []byte) bool) {
+	keys := make([]string, 0, 16)
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(k, s.data[k]) {
+			return
+		}
+	}
+}

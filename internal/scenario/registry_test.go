@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"ibcbench/internal/metrics"
+)
+
+// TestRegistryLint is the CI registry-lint gate in miniature: every
+// registered scenario validates, compiles, and encodes canonically.
+func TestRegistryLint(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("expected the built-in library, got %v", names)
+	}
+	for _, name := range names {
+		if err := Lint(name); err != nil {
+			t.Errorf("lint %s: %v", name, err)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(Entry{Spec: Spec{Name: "quickstart", Topology: TopologySpec{Preset: "two"}}})
+}
+
+// TestShortBuiltinsHoldAssertions runs every Short builtin end to end:
+// the run succeeds, traffic completes, and all default assertions hold.
+// This is what `ibcbench suite -short` executes.
+func TestShortBuiltinsHoldAssertions(t *testing.T) {
+	ran := 0
+	for _, name := range Names() {
+		e, _ := Lookup(name)
+		if !e.Short {
+			continue
+		}
+		ran++
+		t.Run(name, func(t *testing.T) {
+			rep, err := Run(e.Spec, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Passed() {
+				for _, v := range rep.Violations {
+					t.Errorf("violation: %s", v)
+				}
+			}
+			total := rep.Result.Total[metrics.StatusCompleted] + rep.Result.RoutesCompleted
+			if total == 0 {
+				t.Error("builtin completed no traffic")
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no Short builtins registered")
+	}
+}
+
+// TestBuiltinSpecsAreSelfDescribing: the catalogue renders something
+// usable for CLI help.
+func TestBuiltinDescriptions(t *testing.T) {
+	for _, name := range Names() {
+		e, _ := Lookup(name)
+		if strings.TrimSpace(e.Desc) == "" {
+			t.Errorf("builtin %s has no description", name)
+		}
+	}
+}

@@ -33,6 +33,8 @@ type Server struct {
 
 	liveMu sync.Mutex
 	live   map[string]*liveEntry
+
+	queue queueState
 }
 
 // New builds the HTTP handler over an open store.
@@ -49,6 +51,8 @@ func New(st *store.Store) *Server {
 	s.mux.HandleFunc("GET /api/trend", s.handleTrend)
 	s.mux.HandleFunc("GET /api/regression", s.handleRegression)
 	s.mux.HandleFunc("GET /api/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /api/queue", s.handleQueueList)
+	s.mux.HandleFunc("POST /api/queue", s.handleQueuePost)
 	s.mux.HandleFunc("GET /api/live", s.handleLiveList)
 	s.mux.HandleFunc("POST /api/live/update", s.handleLiveUpdate)
 	s.mux.HandleFunc("POST /api/live/finish", s.handleLiveFinish)

@@ -64,6 +64,10 @@ type Scenario struct {
 	RecordCurves bool
 	// Until is the virtual run deadline (0 = derived from the workload).
 	Until time.Duration
+	// ExtraSettle extends the derived deadline — room for timeout refunds
+	// and backlog clearing to quiesce before post-run invariant checks.
+	// Ignored when Until is set explicitly.
+	ExtraSettle time.Duration
 }
 
 // EdgeReport is the per-edge slice of a scenario result.
@@ -200,9 +204,19 @@ type routeRun struct {
 // Run deploys the scenario's topology and drives the workload mix to the
 // deadline, returning per-edge and aggregate reports.
 func (s Scenario) Run(seed int64) (*Result, error) {
+	res, _, err := s.RunDeployed(seed)
+	return res, err
+}
+
+// RunDeployed is Run exposing the finished deployment alongside the
+// result, so callers (the scenario assertion engine) can inspect chain
+// state, trackers and links after the deadline. The returned deployment
+// is quiescent — its scheduler has drained to the deadline — and must be
+// treated as read-only.
+func (s Scenario) RunDeployed(seed int64) (*Result, *Deployment, error) {
 	d, err := Deploy(s.Topology, s.withSeed(seed))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	windows := s.Windows
 	if windows <= 0 {
@@ -210,14 +224,14 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	}
 	for _, edge := range sortedKeys(s.EdgeRates) {
 		if edge < 0 || edge >= len(d.Links) {
-			return nil, fmt.Errorf("topo: EdgeRates references edge %d of %d", edge, len(d.Links))
+			return nil, nil, fmt.Errorf("topo: EdgeRates references edge %d of %d", edge, len(d.Links))
 		}
 		d.Links[edge].Forward().RunConstantRate(s.EdgeRates[edge], windows)
 	}
 	runs := make([]*routeRun, 0, len(s.Routes))
 	for i, rt := range s.Routes {
 		if err := s.validateRoute(rt); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rr := &routeRun{route: rt, idx: i}
 		runs = append(runs, rr)
@@ -238,7 +252,7 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 		var err error
 		inj, err = chaos.Inject(d.Sched, d, s.Chaos)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	live := s.Deploy.Live
@@ -251,7 +265,7 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	}
 	d.Start()
 	if err := d.Run(s.deadline(windows)); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if live != nil && live.Hook != nil {
 		// One final sample so the last published state reflects the
@@ -265,7 +279,7 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	if d.Obs != nil {
 		foldObs(d, res, runs)
 	}
-	return res, nil
+	return res, d, nil
 }
 
 func (s Scenario) withSeed(seed int64) DeployConfig {
@@ -311,7 +325,7 @@ func (s Scenario) deadline(windows int) time.Duration {
 			d = after
 		}
 	}
-	return d
+	return d + s.ExtraSettle
 }
 
 // startLeg submits one route leg on a dedicated generator and polls the
